@@ -1,0 +1,74 @@
+"""Shared helpers for the per-figure benchmarks.
+
+Every benchmark regenerates one table/figure of the paper: it runs the
+scenario matrix, prints a paper-vs-measured report (also written to
+``benchmarks/results/<name>.txt``) and asserts the paper's *shape* claims
+— orderings and rough factors, not absolute numbers (see DESIGN.md).
+
+Run ``REPRO_BENCH_SCALE=full pytest benchmarks/ --benchmark-only`` for
+larger, closer-to-paper runs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, Sequence
+
+from repro.harness import current_scale, format_table
+from repro.harness.runner import Scenario
+from repro.sim.topology import TopologyParams
+
+#: the full Sec. 4.1 baseline suite, in the paper's legend order
+ALL_LBS = ["ecmp", "ops", "flowlet", "bitmap", "mprdma", "plb",
+           "mptcp", "adaptive_roce", "reps"]
+
+#: cheaper subset for the wide sweeps (traces, collectives)
+CORE_LBS = ["ecmp", "ops", "plb", "mprdma", "reps"]
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(name: str, title: str, headers: Sequence[str],
+           rows: Iterable[Sequence[object]],
+           notes: Sequence[str] = ()) -> None:
+    """Print the figure's table and persist it under benchmarks/results."""
+    table = format_table(title, headers, rows)
+    body = table + ("\n" + "\n".join(notes) if notes else "") + "\n"
+    print("\n" + body)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(body)
+
+
+def small_topo(**overrides) -> TopologyParams:
+    """A matrix-friendly topology: 16 hosts, 8 uplinks, 1:1."""
+    params = dict(n_hosts=16, hosts_per_t0=8)
+    params.update(overrides)
+    return TopologyParams(**params)
+
+
+def scaled_topo(**overrides) -> TopologyParams:
+    """The scale-controlled topology for single-scenario figures."""
+    return current_scale().topo(**overrides)
+
+
+def msg(paper_mib: float) -> int:
+    return current_scale().msg_bytes(paper_mib)
+
+
+def scenario(lb: str, topo: TopologyParams, **kw) -> Scenario:
+    kw.setdefault("max_us", 2_000_000.0)
+    return Scenario(lb=lb, topo=topo, **kw)
+
+
+def fct_table(results: Dict[str, object], metric: str = "max_fct_us"):
+    """Rows of (lb, fct, speedup-vs-first-entry)."""
+    rows = []
+    base = None
+    for lb, res in results.items():
+        val = getattr(res.metrics, metric)
+        if base is None:
+            base = val
+        rows.append((lb, round(val, 1),
+                     round(base / val, 2) if val else float("inf")))
+    return rows

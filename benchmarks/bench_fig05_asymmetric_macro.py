@@ -1,0 +1,92 @@
+"""Fig. 5 — macro comparison with 3% of ToR uplinks downgraded to 200G.
+
+Paper shapes: REPS up to 5x over ECMP and ~10% over the second-best
+(usually BitMap) on synthetics; larger gaps on DC traces at 100% load
+(25% over second best, 10x over ECMP); AllReduce ~30% over second best.
+"""
+
+from __future__ import annotations
+
+from _common import ALL_LBS, CORE_LBS, msg, report, scenario, small_topo
+
+from repro.harness import (
+    degrade_fraction_hook,
+    run_collective,
+    run_synthetic,
+    run_trace,
+)
+
+#: 3% of uplinks in the paper's 1024-node tree; in a 16-uplink testbed
+#: one downgraded cable (~6%) is the closest integer equivalent
+DEGRADE = degrade_fraction_hook(0.05, 200.0, seed=11)
+
+
+def test_fig05_synthetic(benchmark):
+    def run():
+        out = {}
+        for pattern in ("permutation", "tornado"):
+            for lb in ALL_LBS:
+                s = scenario(lb, small_topo(), seed=5, failures=DEGRADE)
+                res = run_synthetic(s, pattern, msg(8))
+                out[(pattern, lb)] = res.metrics.max_fct_us
+        return out
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for pattern in ("permutation", "tornado"):
+        base = data[(pattern, "ecmp")]
+        rows.append([f"{pattern} 8MiB"] +
+                    [round(base / data[(pattern, lb)], 2)
+                     for lb in ALL_LBS])
+    report("fig05_synthetic",
+           "Fig 5 (left): speedup vs ECMP, 200G-degraded uplinks",
+           ["workload"] + ALL_LBS, rows)
+
+    for pattern in ("permutation", "tornado"):
+        vals = {lb: data[(pattern, lb)] for lb in ALL_LBS}
+        assert vals["reps"] < vals["ecmp"]
+        assert vals["reps"] < vals["ops"]
+        # REPS within 10% of the best adaptive alternative
+        best_other = min(v for lb, v in vals.items() if lb != "reps")
+        assert vals["reps"] <= best_other * 1.10
+
+
+def test_fig05_dc_traces(benchmark):
+    def run():
+        out = {}
+        for lb in CORE_LBS:
+            s = scenario(lb, small_topo(), seed=5, failures=DEGRADE,
+                         max_us=10_000_000.0)
+            res = run_trace(s, load=1.0, duration_us=100.0)
+            out[lb] = res.metrics.avg_fct_us
+        return out
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig05_traces", "Fig 5 (mid): DC traces 100% load, degraded",
+           ["lb", "avg_fct_us"],
+           [(lb, round(v, 1)) for lb, v in data.items()])
+    assert data["reps"] <= data["ecmp"]
+    assert data["reps"] <= min(data.values()) * 1.15
+
+
+def test_fig05_collectives(benchmark):
+    def run():
+        out = {}
+        for kind in ("ring_allreduce", "alltoall"):
+            for lb in CORE_LBS:
+                s = scenario(lb, small_topo(), seed=5, failures=DEGRADE,
+                             max_us=20_000_000.0)
+                res = run_collective(s, kind, msg(4), n_parallel=8)
+                out[(kind, lb)] = res.collective.finish_us
+        return out
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    kinds = sorted({k for k, _ in data})
+    report("fig05_collectives",
+           "Fig 5 (right): collective runtimes (us), degraded",
+           ["collective"] + CORE_LBS,
+           [[k] + [round(data[(k, lb)], 1) for lb in CORE_LBS]
+            for k in kinds])
+    for k in kinds:
+        vals = {lb: data[(k, lb)] for lb in CORE_LBS}
+        assert vals["reps"] <= min(vals.values()) * 1.10

@@ -1,0 +1,62 @@
+"""Fig. 16 — topology scaling x EVS size (tornado).
+
+Paper: from 128 to 8192 nodes, REPS holds near-ideal completion for all
+EVS sizes down to 64 (slight regression at 16); OPS runs up to 2.4x
+slower with 16 EVs and trends upward with topology size.
+
+Scaled substitution: the Python simulator sweeps 16..64 hosts (with
+uplink counts growing alongside) rather than 128..8192; the claim under
+test — REPS's EVS requirement does not grow with the topology while
+OPS's does — is preserved.
+"""
+
+from __future__ import annotations
+
+from _common import msg, report, scenario
+
+from repro.harness import run_synthetic
+from repro.sim.topology import TopologyParams
+
+TOPOS = {
+    16: TopologyParams(n_hosts=16, hosts_per_t0=8),
+    32: TopologyParams(n_hosts=32, hosts_per_t0=8),
+    64: TopologyParams(n_hosts=64, hosts_per_t0=16),
+}
+EVS_SIZES = (16, 64, 65536)
+
+
+def _run(lb: str, n_hosts: int, evs: int):
+    s = scenario(lb, TOPOS[n_hosts], seed=5, evs_size=evs,
+                 max_us=50_000_000.0)
+    return run_synthetic(s, "tornado", msg(8)).metrics
+
+
+def test_fig16_topology_scaling(benchmark):
+    data = benchmark.pedantic(
+        lambda: {(lb, n, evs): _run(lb, n, evs)
+                 for n in TOPOS for evs in EVS_SIZES
+                 for lb in ("ops", "reps")},
+        rounds=1, iterations=1)
+
+    rows = []
+    for n in TOPOS:
+        for evs in EVS_SIZES:
+            rows.append([n, evs,
+                         round(data[("ops", n, evs)].max_fct_us, 1),
+                         round(data[("reps", n, evs)].max_fct_us, 1)])
+    report("fig16", "Fig 16: topology scaling x EVS size "
+           "(paper: REPS flat; OPS needs a large EVS, worsens with size)",
+           ["hosts", "evs_size", "ops_max_fct_us", "reps_max_fct_us"],
+           rows)
+
+    for n in TOPOS:
+        reps_full = data[("reps", n, 65536)].max_fct_us
+        # REPS with 64 EVs ~ full EVS at every scale
+        assert data[("reps", n, 64)].max_fct_us <= reps_full * 1.15, n
+        # REPS with 64 EVs beats OPS with the full 16-bit EVS (headline)
+        assert data[("reps", n, 64)].max_fct_us <= \
+            data[("ops", n, 65536)].max_fct_us * 1.05, n
+    # OPS with 16 EVs degrades well beyond OPS with 64K at the largest
+    n = max(TOPOS)
+    assert data[("ops", n, 16)].max_fct_us > \
+        1.3 * data[("ops", n, 65536)].max_fct_us

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: REPS vs OPS vs ECMP on a permutation workload.
+
+Builds a 32-host, 2-tier fat tree (400G links, 4 KiB MTU — the paper's
+Sec. 4.1 setup, scaled down), runs the same cross-ToR permutation under
+three load balancers and prints the completion times.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Network, NetworkConfig, TopologyParams
+from repro.workloads import permutation
+
+N_HOSTS = 32
+HOSTS_PER_T0 = 8
+MESSAGE = 2 << 20  # 2 MiB per flow
+
+
+def run(lb: str) -> str:
+    cfg = NetworkConfig(
+        topo=TopologyParams(n_hosts=N_HOSTS, hosts_per_t0=HOSTS_PER_T0),
+        lb=lb,
+        seed=42,
+    )
+    net = Network(cfg)
+    pairs = permutation(N_HOSTS, seed=7, cross_tor_only=True,
+                        hosts_per_t0=HOSTS_PER_T0)
+    for src, dst in pairs:
+        net.add_flow(src, dst, MESSAGE)
+    metrics = net.run(max_us=100_000)
+    return (f"{lb:8s}  max FCT {metrics.max_fct_us:8.1f} us   "
+            f"avg FCT {metrics.avg_fct_us:8.1f} us   "
+            f"drops {metrics.total_drops:4d}   "
+            f"ECN marks {metrics.ecn_marks:5d}")
+
+
+def main() -> None:
+    print(f"{N_HOSTS}-host fat tree, {MESSAGE >> 20} MiB cross-ToR "
+          f"permutation, {len(permutation(N_HOSTS, seed=7))} flows\n")
+    for lb in ("ecmp", "ops", "reps"):
+        print(run(lb))
+    print("\nExpected shape (paper Sec. 4.3.1): ECMP suffers hash "
+          "collisions; REPS matches or slightly beats OPS with far "
+          "fewer ECN marks (stable, sub-Kmin queues).")
+
+
+if __name__ == "__main__":
+    main()

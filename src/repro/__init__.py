@@ -1,0 +1,36 @@
+"""repro — reproduction of REPS (Bonato et al., EuroSys '26).
+
+Recycled Entropy Packet Spraying: a per-packet adaptive load balancer for
+out-of-order datacenter transports, plus the full evaluation substrate —
+a packet-level network simulator, baseline load balancers, workload
+generators and the Section-5 balls-into-bins theory models.
+
+Quickstart::
+
+    from repro import Network, NetworkConfig, TopologyParams
+    from repro.workloads import permutation
+
+    cfg = NetworkConfig(topo=TopologyParams(n_hosts=32, hosts_per_t0=8),
+                        lb="reps")
+    net = Network(cfg)
+    for src, dst in permutation(32, seed=7):
+        net.add_flow(src, dst, 1 << 20)
+    print(net.run().summary())
+"""
+
+from .core import RepsConfig, RepsSender, compute_footprint
+from .sim import (
+    FatTree,
+    Network,
+    NetworkConfig,
+    RunMetrics,
+    TopologyParams,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RepsConfig", "RepsSender", "compute_footprint",
+    "Network", "NetworkConfig", "TopologyParams", "FatTree", "RunMetrics",
+    "__version__",
+]

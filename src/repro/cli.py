@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Three subcommands cover the common interactive uses:
+
+- ``run``: one simulation (pattern x load balancer) with a metrics line,
+- ``compare``: the same workload under several load balancers,
+- ``footprint``: print the Table-1 memory accounting.
+
+Examples::
+
+    python -m repro run --lb reps --pattern tornado --hosts 32 --mib 2
+    python -m repro compare --lbs ecmp,ops,reps --pattern permutation
+    python -m repro run --lb reps --fail-uplink 0 --fail-at 50 --fail-for 200
+    python -m repro footprint --buffer 8 --evs 65536
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.footprint import compute_footprint
+from .core.reps import RepsConfig
+from .harness.report import format_table
+from .sim.network import Network, NetworkConfig
+from .sim.topology import TopologyParams
+from .workloads.synthetic import incast, permutation, tornado
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="REPS reproduction (Bonato et al., EuroSys '26)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_sim_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--hosts", type=int, default=16)
+        p.add_argument("--hosts-per-t0", type=int, default=8)
+        p.add_argument("--tiers", type=int, default=2, choices=(2, 3))
+        p.add_argument("--oversubscription", type=int, default=1)
+        p.add_argument("--pattern", default="permutation",
+                       choices=("permutation", "tornado", "incast"))
+        p.add_argument("--mib", type=float, default=2.0,
+                       help="message size in MiB")
+        p.add_argument("--fan-in", type=int, default=8,
+                       help="incast fan-in")
+        p.add_argument("--evs", type=int, default=65536)
+        p.add_argument("--cc", default="dctcp",
+                       choices=("dctcp", "eqds", "internal"))
+        p.add_argument("--ack-coalesce", type=int, default=1)
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--max-us", type=float, default=1_000_000.0)
+        p.add_argument("--trimming", action="store_true")
+        p.add_argument("--fail-uplink", type=int, default=None,
+                       metavar="INDEX",
+                       help="fail the i-th ToR uplink cable")
+        p.add_argument("--fail-at", type=float, default=50.0,
+                       help="failure start (us)")
+        p.add_argument("--fail-for", type=float, default=None,
+                       help="failure duration (us); default permanent")
+        p.add_argument("--degrade-uplink", type=int, default=None,
+                       metavar="INDEX",
+                       help="downgrade the i-th ToR uplink to --degrade-gbps")
+        p.add_argument("--degrade-gbps", type=float, default=200.0)
+
+    run_p = sub.add_parser("run", help="run one simulation")
+    add_sim_args(run_p)
+    run_p.add_argument("--lb", default="reps")
+
+    cmp_p = sub.add_parser("compare", help="compare load balancers")
+    add_sim_args(cmp_p)
+    cmp_p.add_argument("--lbs", default="ecmp,ops,reps",
+                       help="comma-separated load balancer names")
+
+    fp_p = sub.add_parser("footprint", help="Table-1 memory accounting")
+    fp_p.add_argument("--buffer", type=int, default=8)
+    fp_p.add_argument("--evs", type=int, default=65536)
+    fp_p.add_argument("--lifespan", type=int, default=1)
+    return parser
+
+
+def _simulate(args: argparse.Namespace, lb: str):
+    topo = TopologyParams(
+        n_hosts=args.hosts, hosts_per_t0=args.hosts_per_t0,
+        tiers=args.tiers, oversubscription=args.oversubscription,
+        trim_enabled=args.trimming,
+    )
+    net = Network(NetworkConfig(
+        topo=topo, lb=lb, cc=args.cc, evs_size=args.evs,
+        ack_coalesce=args.ack_coalesce, seed=args.seed,
+    ))
+    if args.fail_uplink is not None:
+        cables = net.tree.t0_uplink_cables()
+        net.failures.fail_cable(
+            cables[args.fail_uplink % len(cables)],
+            at_ps=int(args.fail_at * 1e6),
+            duration_ps=(int(args.fail_for * 1e6)
+                         if args.fail_for is not None else None))
+    if args.degrade_uplink is not None:
+        cables = net.tree.t0_uplink_cables()
+        net.failures.degrade_cable(
+            cables[args.degrade_uplink % len(cables)], args.degrade_gbps)
+    size = int(args.mib * 1024 * 1024)
+    if args.pattern == "tornado":
+        pairs = tornado(args.hosts)
+    elif args.pattern == "incast":
+        pairs = incast(args.hosts, args.fan_in)
+    else:
+        pairs = permutation(args.hosts, seed=args.seed,
+                            cross_tor_only=args.hosts > args.hosts_per_t0,
+                            hosts_per_t0=args.hosts_per_t0)
+    for src, dst in pairs:
+        net.add_flow(src, dst, size)
+    return net.run(max_us=args.max_us)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    metrics = _simulate(args, args.lb)
+    print(f"{args.lb}: {metrics.summary()}")
+    return 0 if metrics.flows_completed == metrics.flows_total else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    lbs = [s.strip() for s in args.lbs.split(",") if s.strip()]
+    rows = []
+    ok = True
+    for lb in lbs:
+        m = _simulate(args, lb)
+        rows.append((lb, round(m.max_fct_us, 1), round(m.avg_fct_us, 1),
+                     m.total_drops, m.ecn_marks,
+                     f"{m.flows_completed}/{m.flows_total}"))
+        ok = ok and m.flows_completed == m.flows_total
+    print(format_table(
+        f"{args.pattern} {args.mib} MiB on {args.hosts} hosts",
+        ["lb", "max_fct_us", "avg_fct_us", "drops", "ecn", "done"], rows))
+    return 0 if ok else 1
+
+
+def _cmd_footprint(args: argparse.Namespace) -> int:
+    cfg = RepsConfig(buffer_size=args.buffer, evs_size=args.evs,
+                     ev_lifespan=args.lifespan)
+    fp = compute_footprint(cfg)
+    print(format_table(
+        "REPS per-connection memory footprint (Table 1)",
+        ["component", "bits"], fp.rows()))
+    print(f"total: {fp.total_bits} bits ~= {fp.total_bytes} bytes")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "footprint": _cmd_footprint,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

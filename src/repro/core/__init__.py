@@ -1,0 +1,6 @@
+"""REPS: the paper's core contribution (Sec. 3)."""
+
+from .footprint import Footprint, compute_footprint
+from .reps import RepsConfig, RepsSender
+
+__all__ = ["RepsConfig", "RepsSender", "Footprint", "compute_footprint"]

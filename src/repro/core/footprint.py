@@ -1,0 +1,74 @@
+"""Per-connection memory footprint accounting (Table 1).
+
+The paper's headline "<25 bytes of state per connection" is recomputed
+here from a live configuration, so the Table-1 benchmark regenerates the
+table instead of hard-coding it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from .reps import RepsConfig
+
+#: bit widths of the global variables, exactly as Table 1 lists them
+_GLOBAL_BITS = {
+    "head": 8,
+    "numberOfValidEVs": 8,
+    "exitFreezingMode": 32,
+    "isFreezingMode": 1,
+    "exploreCounter": 8,
+}
+
+
+@dataclass
+class Footprint:
+    """Bit-level accounting of one REPS connection."""
+
+    ev_bits: int
+    validity_bits: int
+    buffer_elements: int
+    global_bits: Dict[str, int]
+
+    @property
+    def per_element_bits(self) -> int:
+        return self.ev_bits + self.validity_bits
+
+    @property
+    def total_bits(self) -> int:
+        return (self.per_element_bits * self.buffer_elements
+                + sum(self.global_bits.values()))
+
+    @property
+    def total_bytes(self) -> int:
+        return math.ceil(self.total_bits / 8)
+
+    def rows(self) -> list:
+        """Table rows as (component, bits) pairs, mirroring Table 1."""
+        rows = [
+            ("Entropy Value (cachedEV)", self.ev_bits),
+            ("Entropy Validity Bit (isValid)", self.validity_bits),
+        ]
+        rows += [(name, bits) for name, bits in self.global_bits.items()]
+        rows.append((f"Total ({self.buffer_elements} elements)",
+                     self.total_bits))
+        return rows
+
+
+def compute_footprint(config: RepsConfig) -> Footprint:
+    """Recompute Table 1 for an arbitrary REPS configuration.
+
+    The EV width is the minimum number of bits addressing ``evs_size``
+    values; the validity "bit" widens to a use counter for the Reuse-EVs
+    variant (lifespan > 1).
+    """
+    ev_bits = max(1, math.ceil(math.log2(config.evs_size)))
+    validity_bits = max(1, math.ceil(math.log2(config.ev_lifespan + 1)))
+    return Footprint(
+        ev_bits=ev_bits,
+        validity_bits=validity_bits,
+        buffer_elements=config.buffer_size,
+        global_bits=dict(_GLOBAL_BITS),
+    )

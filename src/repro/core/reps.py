@@ -1,0 +1,248 @@
+"""REPS — Recycled Entropy Packet Spraying (Sec. 3, Algorithms 1 & 2).
+
+This module is the paper's contribution and is deliberately free of any
+simulator dependency: :class:`RepsSender` is a plain object driven by
+``on_ack`` / ``on_failure_detection`` / ``next_entropy`` calls, so it can
+be unit-tested standalone, embedded in the packet simulator, or — as the
+paper argues — implemented in NIC firmware with ~25 bytes of state.
+
+Terminology maps 1:1 onto the paper's pseudocode:
+
+=====================  ==========================================
+Paper                  Here
+=====================  ==========================================
+``repsBuffer``         ``self._buffer`` (list of ``_Entry``)
+``head``               ``self._head``
+``numberOfValidEVs``   ``self._num_valid``
+``isFreezingMode``     ``self._freezing``
+``exitFreezingMode``   ``self._exit_freezing_at``
+``exploreCounter``     ``self._explore_counter``
+``EVS_SIZE``           ``config.evs_size``
+``REPS_BUFFER_SIZE``   ``config.buffer_size``
+``FREEZING_TIMEOUT``   ``config.freezing_timeout_ps``
+``NUM_PKTS_CWND``      ``cwnd_pkts()`` (supplied by the transport)
+=====================  ==========================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+
+@dataclass
+class RepsConfig:
+    """Tunables of a REPS sender.
+
+    Attributes:
+        buffer_size: circular-buffer depth (8 in the paper, from the
+            Theorem 5.1 bound and empirical evidence).
+        evs_size: size of the entropy-value set (65536 for a 16-bit EV).
+        freezing_enabled: enables failure-mitigation freezing (Sec. 3.2).
+            Disabled reproduces the Appendix C.4 ablation.
+        freezing_timeout_ps: how long to stay frozen before probing the
+            network again.
+        ev_lifespan: number of sends each cached EV is good for.  1 is
+            standard REPS; >1 is the *Reuse EVs* coalescing variant
+            (Sec. 4.5.1).
+        explore_every: during the post-freeze explore phase, one packet in
+            every ``explore_every`` uses a random EV (Algorithm 2 uses the
+            buffer size).
+    """
+
+    buffer_size: int = 8
+    evs_size: int = 65536
+    freezing_enabled: bool = True
+    freezing_timeout_ps: int = 100_000_000  # 100 us
+    ev_lifespan: int = 1
+    explore_every: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.buffer_size < 1:
+            raise ValueError("buffer_size must be >= 1")
+        if self.evs_size < 1:
+            raise ValueError("evs_size must be >= 1")
+        if self.ev_lifespan < 1:
+            raise ValueError("ev_lifespan must be >= 1")
+
+    @property
+    def explore_period(self) -> int:
+        return self.explore_every or self.buffer_size
+
+
+class _Entry:
+    """One circular-buffer slot: a cached EV and its remaining uses.
+
+    ``uses_left > 0`` is the paper's validity bit; the extra counter
+    implements the Reuse-EVs variant (standard REPS always refills to 1).
+    """
+
+    __slots__ = ("ev", "uses_left")
+
+    def __init__(self) -> None:
+        self.ev = 0
+        self.uses_left = 0
+
+    @property
+    def valid(self) -> bool:
+        return self.uses_left > 0
+
+
+class RepsSender:
+    """Per-connection REPS state machine (Algorithms 1 and 2).
+
+    Args:
+        config: algorithm tunables.
+        rng: source of randomness for explored EVs.
+        cwnd_pkts: callable returning the current congestion window in
+            packets (``NUM_PKTS_CWND``); used to size the post-freezing
+            exploration phase.  Defaults to 4x the buffer size.
+    """
+
+    name = "reps"
+
+    def __init__(
+        self,
+        config: Optional[RepsConfig] = None,
+        rng: Optional[random.Random] = None,
+        cwnd_pkts: Optional[Callable[[], int]] = None,
+    ) -> None:
+        self.config = config or RepsConfig()
+        self.config.validate()
+        self.rng = rng or random.Random()
+        self._cwnd_pkts = cwnd_pkts or (lambda: 4 * self.config.buffer_size)
+        n = self.config.buffer_size
+        self._buffer: List[_Entry] = [_Entry() for _ in range(n)]
+        self._head = 0
+        self._num_valid = 0
+        self._freezing = False
+        self._exit_freezing_at = 0
+        self._explore_counter = 0
+        self._ever_cached = False
+        self._force_frozen = False
+        # observability counters (not part of the 25-byte NIC state)
+        self.stats_explored = 0
+        self.stats_recycled = 0
+        self.stats_frozen_reuse = 0
+        self.stats_freeze_entries = 0
+
+    # ------------------------------------------------------------------
+    # inspection helpers (used by tests and telemetry)
+    # ------------------------------------------------------------------
+    @property
+    def freezing(self) -> bool:
+        return self._freezing
+
+    @property
+    def valid_evs(self) -> int:
+        return self._num_valid
+
+    @property
+    def explore_counter(self) -> int:
+        return self._explore_counter
+
+    @property
+    def buffer_snapshot(self) -> List[tuple]:
+        """(ev, uses_left) per slot, index 0 = slot 0 (not head-relative)."""
+        return [(e.ev, e.uses_left) for e in self._buffer]
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: onAck
+    # ------------------------------------------------------------------
+    def on_ack(self, ev: int, ecn: bool, now: int) -> None:
+        """Process one acknowledged entropy (Algorithm 1, lines 5-19)."""
+        if not ecn:
+            entry = self._buffer[self._head]
+            if not entry.valid:
+                self._num_valid += 1
+            entry.ev = ev
+            entry.uses_left = self.config.ev_lifespan
+            self._head = (self._head + 1) % self.config.buffer_size
+            self._ever_cached = True
+        self._maybe_exit_freezing(now)
+
+    def _maybe_exit_freezing(self, now: int) -> None:
+        """Time-based exit (Sec. 3.2: "exit freezing mode after a fixed
+        amount of time").  Checked on the ACK path (Algorithm 1) *and*
+        the send path: if every cached EV maps to the dead path, no ACK
+        will ever arrive to run the Algorithm-1 check, and only the
+        send-path check lets the post-freezing random probes discover a
+        healthy path again (the paper's stuck-buffer escape hatch)."""
+        if self._freezing and not self._force_frozen and \
+                now > self._exit_freezing_at:
+            self._freezing = False
+            self._explore_counter = max(1, self._cwnd_pkts())
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: onFailureDetection
+    # ------------------------------------------------------------------
+    def on_failure_detection(self, now: int) -> None:
+        """Enter freezing mode on suspected failure (lines 21-26)."""
+        if not self.config.freezing_enabled:
+            return
+        if not self._freezing and self._explore_counter == 0:
+            self._freezing = True
+            self._exit_freezing_at = now + self.config.freezing_timeout_ps
+            self.stats_freeze_entries += 1
+
+    def force_freeze(self, now: int, permanent: bool = True) -> None:
+        """Force freezing mode regardless of failures (Appendix A, Fig 19)."""
+        self._freezing = True
+        self._force_frozen = permanent
+        self._exit_freezing_at = now + self.config.freezing_timeout_ps
+        self.stats_freeze_entries += 1
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: getNextEV + onSend
+    # ------------------------------------------------------------------
+    def _get_next_ev(self) -> int:
+        """Pop the oldest valid EV, or cycle stale ones while frozen."""
+        n = self.config.buffer_size
+        if self._num_valid > 0:
+            offset = (self._head - self._num_valid) % n
+            entry = self._buffer[offset]
+            entry.uses_left -= 1
+            if entry.uses_left == 0:
+                self._num_valid -= 1
+            self.stats_recycled += 1
+            return entry.ev
+        # numberOfValidEVs == 0: only reached in freezing mode, where stale
+        # entries are knowingly reused (Sec. 3.2, item 2).
+        offset = self._head
+        self._head = (self._head + 1) % n
+        self.stats_frozen_reuse += 1
+        return self._buffer[offset].ev
+
+    def _random_ev(self) -> int:
+        self.stats_explored += 1
+        return self.rng.randrange(self.config.evs_size)
+
+    def next_entropy(self, now: int) -> int:
+        """Choose the EV for the next data packet (Algorithm 2, onSend)."""
+        self._maybe_exit_freezing(now)
+        if self._explore_counter > 0:
+            self._explore_counter -= 1
+            if self._explore_counter % self.config.explore_period == 0:
+                return self._random_ev()
+            # otherwise fall through to the normal selection logic
+        if not self._ever_cached or (
+                self._num_valid == 0 and not self._freezing):
+            return self._random_ev()
+        return self._get_next_ev()
+
+    # ------------------------------------------------------------------
+    # transport hooks shared with the baseline LB interface
+    # ------------------------------------------------------------------
+    def on_timeout(self, ev: int, now: int) -> None:
+        """RTO expiry: indirect failure evidence (Sec. 2.1 heuristic)."""
+        self.on_failure_detection(now)
+
+    def on_nack(self, ev: int, now: int) -> None:
+        """Trimmed-packet NACK: a *congestion* loss, so no freezing.
+
+        With packet trimming available REPS can tell congestion drops from
+        failure drops (Appendix A) and only freezes on the latter.
+        """
+        # congestion losses carry no routing information REPS wants to keep
+        return

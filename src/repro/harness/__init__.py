@@ -1,0 +1,39 @@
+"""Experiment harness: scenario runner, scaling, and reporting."""
+
+from .ascii_charts import hbar, render_port_series, sparkline
+from .stats import Aggregate, compare, repeat
+from .report import (
+    cdf_points,
+    format_table,
+    print_shape,
+    print_table,
+    shape_note,
+    speedups,
+)
+from .runner import (
+    Scenario,
+    ScenarioResult,
+    ber_hook,
+    degrade_cables_hook,
+    degrade_fraction_hook,
+    fail_cables_hook,
+    fail_fraction_hook,
+    run_collective,
+    run_lb_matrix,
+    run_mixed_traffic,
+    run_synthetic,
+    run_trace,
+)
+from .scale import FULL, QUICK, Scale, current_scale
+
+__all__ = [
+    "Scenario", "ScenarioResult", "run_synthetic", "run_trace",
+    "run_collective", "run_mixed_traffic", "run_lb_matrix",
+    "fail_cables_hook", "fail_fraction_hook", "degrade_cables_hook",
+    "degrade_fraction_hook", "ber_hook",
+    "Scale", "QUICK", "FULL", "current_scale",
+    "format_table", "print_table", "print_shape", "shape_note",
+    "speedups", "cdf_points",
+    "hbar", "render_port_series", "sparkline",
+    "Aggregate", "compare", "repeat",
+]

@@ -1,0 +1,69 @@
+"""Terminal rendering of telemetry series (the examples' "figures").
+
+The paper's microscopic figures (2, 4, 7, 19, 22) plot per-port
+utilization and queue occupancy over time.  Without a plotting stack we
+render the same series as sparklines and horizontal bars, which is all
+the shape comparisons need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], *,
+              max_value: Optional[float] = None) -> str:
+    """Render ``values`` as a fixed-height character strip.
+
+    ``max_value`` pins the scale (e.g. the line rate) so multiple
+    sparklines are comparable; defaults to the series maximum.
+    """
+    if not values:
+        return ""
+    top = max_value if max_value is not None else max(values)
+    if top <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    n = len(_SPARK_LEVELS) - 1
+    out = []
+    for v in values:
+        idx = int(round(min(max(v, 0.0), top) / top * n))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def hbar(value: float, max_value: float, width: int = 40) -> str:
+    """A horizontal bar of ``value`` against ``max_value``."""
+    if max_value <= 0:
+        return ""
+    filled = int(round(min(max(value, 0.0), max_value)
+                       / max_value * width))
+    return "#" * filled + "." * (width - filled)
+
+def render_port_series(
+    times_us: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    max_value: Optional[float] = None,
+    label: str = "Gbps",
+) -> str:
+    """Multi-port sparkline panel (one row per port), Fig-2 style.
+
+    >>> panel = render_port_series([0, 20], {"p0": [100.0, 400.0]},
+    ...                            max_value=400.0)
+    >>> "p0" in panel and "@" in panel
+    True
+    """
+    if not times_us:
+        return "(no samples)"
+    top = max_value
+    if top is None:
+        top = max((max(v) for v in series.values() if v), default=1.0)
+    lines = [f"t = {times_us[0]:.0f}..{times_us[-1]:.0f} us, "
+             f"full scale = {top:g} {label}"]
+    width = max(len(name) for name in series)
+    for name in sorted(series):
+        lines.append(f"{name:<{width}}  "
+                     f"{sparkline(series[name], max_value=top)}")
+    return "\n".join(lines)

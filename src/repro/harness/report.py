@@ -1,0 +1,74 @@
+"""Plain-text reporting: the tables/series each benchmark regenerates.
+
+Benchmarks print the paper's reported numbers next to the measured ones
+so paper-vs-measured shape checks are visible in the bench output (and
+recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "  "
+    lines = [f"== {title} =="]
+    lines.append(sep.join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep.join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(sep.join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence[object]]) -> None:
+    print("\n" + format_table(title, headers, rows) + "\n")
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == float("inf"):
+            return "inf"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def speedups(baseline: float, values: Dict[str, float]) -> Dict[str, float]:
+    """baseline / value per key (larger = faster than baseline)."""
+    out = {}
+    for k, v in values.items():
+        out[k] = baseline / v if v > 0 else float("inf")
+    return out
+
+
+def shape_note(claim: str, holds: bool) -> str:
+    """One-line paper-claim check used in bench output."""
+    mark = "OK " if holds else "DIVERGES"
+    return f"[{mark}] {claim}"
+
+
+def print_shape(claim: str, holds: bool) -> None:
+    print(shape_note(claim, holds))
+
+
+def cdf_points(values: Sequence[float],
+               n_points: int = 20) -> List[tuple]:
+    """Downsampled empirical CDF of ``values`` as (value, probability)."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    idxs = sorted({min(n - 1, int(round(i * (n - 1) / (n_points - 1))))
+                   for i in range(n_points)}) if n_points > 1 else [n - 1]
+    return [(ordered[i], (i + 1) / n) for i in idxs]

@@ -1,0 +1,285 @@
+"""Experiment runner: one call per paper scenario.
+
+Wraps :class:`~repro.sim.network.Network` construction, workload
+installation, failure injection and metric collection so each benchmark
+file stays a thin description of its figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.reps import RepsConfig
+from ..sim.metrics import RunMetrics, SeriesRecorder
+from ..sim.network import Network, NetworkConfig
+from ..sim.topology import TopologyParams
+from ..workloads.collectives import (
+    AllToAll,
+    ButterflyAllReduce,
+    RingAllReduce,
+    spine_heavy_ring,
+)
+from ..workloads.synthetic import incast, permutation, tornado
+from ..workloads.traces import generate_trace_flows
+
+FailureHook = Callable[[Network], None]
+
+
+@dataclass
+class Scenario:
+    """One simulation run, fully specified."""
+
+    lb: str
+    topo: TopologyParams = field(default_factory=TopologyParams)
+    cc: str = "dctcp"
+    evs_size: int = 65536
+    ack_coalesce: int = 1
+    carry_evs: bool = False
+    reps: Optional[RepsConfig] = None
+    rto_us: float = 70.0
+    seed: int = 1
+    max_us: float = 50_000.0
+    failures: Optional[FailureHook] = None
+    telemetry_bucket_us: Optional[float] = None
+
+    def network(self) -> Network:
+        cfg = NetworkConfig(
+            topo=self.topo, lb=self.lb, cc=self.cc, evs_size=self.evs_size,
+            ack_coalesce=self.ack_coalesce, carry_evs=self.carry_evs,
+            reps=self.reps, rto_us=self.rto_us, seed=self.seed,
+        )
+        net = Network(cfg)
+        if self.failures is not None:
+            self.failures(net)
+        return net
+
+
+@dataclass
+class ScenarioResult:
+    metrics: RunMetrics
+    recorder: Optional[SeriesRecorder] = None
+    network: Optional[Network] = None
+
+    @property
+    def max_fct_us(self) -> float:
+        return self.metrics.max_fct_us
+
+    @property
+    def avg_fct_us(self) -> float:
+        return self.metrics.avg_fct_us
+
+
+def _maybe_record(net: Network, scenario: Scenario):
+    if scenario.telemetry_bucket_us is None:
+        return None
+    ports = net.tree.t0s[0].up_ports
+    return net.record_ports(ports, bucket_us=scenario.telemetry_bucket_us)
+
+
+def run_synthetic(
+    scenario: Scenario,
+    pattern: str,
+    msg_bytes: int,
+    *,
+    fan_in: int = 8,
+    workload_seed: int = 2,
+) -> ScenarioResult:
+    """Run one of the Sec. 4.2 synthetic patterns."""
+    net = scenario.network()
+    n = scenario.topo.n_hosts
+    if pattern == "incast":
+        pairs = incast(n, fan_in, receiver=0)
+    elif pattern == "permutation":
+        pairs = permutation(n, seed=workload_seed, cross_tor_only=True,
+                            hosts_per_t0=scenario.topo.hosts_per_t0)
+    elif pattern == "tornado":
+        pairs = tornado(n)
+    else:
+        raise ValueError(f"unknown pattern {pattern!r}")
+    recorder = _maybe_record(net, scenario)
+    for src, dst in pairs:
+        net.add_flow(src, dst, msg_bytes)
+    metrics = net.run(max_us=scenario.max_us)
+    return ScenarioResult(metrics, recorder, net)
+
+
+def run_trace(
+    scenario: Scenario,
+    *,
+    load: float,
+    duration_us: float,
+    trace: str = "websearch",
+    workload_seed: int = 2,
+) -> ScenarioResult:
+    """Replay a DC-trace workload at ``load`` for ``duration_us``."""
+    net = scenario.network()
+    host_gbps = (scenario.topo.host_link_gbps
+                 or scenario.topo.link_gbps)
+    flows = generate_trace_flows(
+        n_hosts=scenario.topo.n_hosts, load=load,
+        duration_us=duration_us, host_gbps=host_gbps,
+        trace=trace, seed=workload_seed,
+    )
+    recorder = _maybe_record(net, scenario)
+    for f in flows:
+        net.add_flow(f.src, f.dst, f.size_bytes, start_us=f.start_us)
+    metrics = net.run(max_us=scenario.max_us)
+    return ScenarioResult(metrics, recorder, net)
+
+
+def run_collective(
+    scenario: Scenario,
+    kind: str,
+    msg_bytes: int,
+    *,
+    n_parallel: int = 8,
+) -> ScenarioResult:
+    """Run an AI collective: ring/butterfly AllReduce or AllToAll(n)."""
+    net = scenario.network()
+    n = scenario.topo.n_hosts
+    if kind == "ring_allreduce":
+        coll = RingAllReduce(
+            net, msg_bytes,
+            order=spine_heavy_ring(n, scenario.topo.hosts_per_t0))
+    elif kind == "butterfly_allreduce":
+        coll = ButterflyAllReduce(net, msg_bytes)
+    elif kind == "alltoall":
+        coll = AllToAll(net, msg_bytes, n_parallel=n_parallel)
+    else:
+        raise ValueError(f"unknown collective {kind!r}")
+    recorder = _maybe_record(net, scenario)
+    coll.install()
+    metrics = net.run(max_us=scenario.max_us)
+    result = ScenarioResult(metrics, recorder, net)
+    result.collective = coll  # type: ignore[attr-defined]
+    return result
+
+
+def run_mixed_traffic(
+    scenario: Scenario,
+    pattern: str,
+    msg_bytes: int,
+    *,
+    background_lb: str = "ecmp",
+    background_fraction: float = 0.1,
+    workload_seed: int = 2,
+) -> Tuple[RunMetrics, RunMetrics]:
+    """Fig. 6: main traffic under ``scenario.lb`` sharing the fabric with
+    ECMP background flows.  Returns (main metrics, background metrics)."""
+    net = scenario.network()
+    n = scenario.topo.n_hosts
+    if pattern == "permutation":
+        pairs = permutation(n, seed=workload_seed, cross_tor_only=True,
+                            hosts_per_t0=scenario.topo.hosts_per_t0)
+    elif pattern == "tornado":
+        pairs = tornado(n)
+    else:
+        raise ValueError(f"unknown pattern {pattern!r}")
+    n_bg = max(1, int(len(pairs) * background_fraction))
+    for i, (src, dst) in enumerate(pairs):
+        if i < n_bg:
+            net.add_flow(src, dst, msg_bytes, lb=background_lb, tag="bg")
+        else:
+            net.add_flow(src, dst, msg_bytes, tag="main")
+    net.run(max_us=scenario.max_us)
+    return net.metrics(tag="main"), net.metrics(tag="bg")
+
+
+# ----------------------------------------------------------------------
+# failure hooks (Sec. 4.3.3 failure modes)
+# ----------------------------------------------------------------------
+def fail_cables_hook(indices: Sequence[int], at_us: float,
+                     duration_us: Optional[float] = None) -> FailureHook:
+    """Fail the i-th T0 uplink cables at ``at_us``."""
+    def hook(net: Network) -> None:
+        cables = net.tree.t0_uplink_cables()
+        for i in indices:
+            net.failures.fail_cable(
+                cables[i % len(cables)],
+                at_ps=int(at_us * 1e6),
+                duration_ps=(int(duration_us * 1e6)
+                             if duration_us is not None else None))
+    return hook
+
+
+def fail_fraction_hook(fraction: float, at_us: float, *, seed: int = 0,
+                       what: str = "cables") -> FailureHook:
+    """Fail a random fraction of T0 uplink cables or T1 switches.
+
+    Mirrors the paper's constraint (Sec. 4.3.3): failures never include a
+    single point of failure that would make the workload uncompletable —
+    one spine switch keeps all its cables, so every ToR pair stays
+    connected.
+    """
+    import random as _random
+
+    def hook(net: Network) -> None:
+        rng = _random.Random(seed)
+        at_ps = int(at_us * 1e6)
+        if what == "cables":
+            cables = net.tree.t0_uplink_cables()
+            protected = rng.choice(net.tree.t1s).name
+            pool = [c for c in cables if f"<->{protected}" not in c.name]
+            k = max(1, min(len(pool), int(len(cables) * fraction)))
+            for c in rng.sample(pool, k):
+                net.failures.fail_cable(c, at_ps=at_ps)
+        elif what == "switches":
+            switches = net.tree.t1s
+            k = max(1, min(len(switches) - 1,
+                           int(round(len(switches) * fraction))))
+            for s in rng.sample(switches, k):
+                net.failures.fail_switch(s, at_ps=at_ps)
+        else:
+            raise ValueError(f"unknown failure target {what!r}")
+    return hook
+
+
+def degrade_cables_hook(indices: Sequence[int], gbps: float,
+                        at_us: float = 0.0) -> FailureHook:
+    """Downgrade T0 uplink cables (asymmetry, Sec. 4.3.2)."""
+    def hook(net: Network) -> None:
+        cables = net.tree.t0_uplink_cables()
+        for i in indices:
+            net.failures.degrade_cable(cables[i % len(cables)], gbps,
+                                       at_ps=int(at_us * 1e6))
+    return hook
+
+
+def degrade_fraction_hook(fraction: float, gbps: float, *,
+                          seed: int = 0) -> FailureHook:
+    """Downgrade a random fraction of T0 uplinks (Fig. 5's 3%)."""
+    import random as _random
+
+    def hook(net: Network) -> None:
+        rng = _random.Random(seed)
+        cables = net.tree.t0_uplink_cables()
+        k = max(1, int(round(len(cables) * fraction)))
+        for c in rng.sample(cables, k):
+            net.failures.degrade_cable(c, gbps, at_ps=0)
+    return hook
+
+
+def ber_hook(ber: float, *, what: str = "cables",
+             seed: int = 0) -> FailureHook:
+    """Random per-packet loss on one uplink cable or one T1 switch."""
+    import random as _random
+
+    def hook(net: Network) -> None:
+        rng = _random.Random(seed)
+        if what == "cables":
+            cable = rng.choice(net.tree.t0_uplink_cables())
+            net.failures.set_ber(cable, ber)
+        else:
+            switch = rng.choice(net.tree.t1s)
+            net.failures.set_switch_ber(switch, ber)
+    return hook
+
+
+def run_lb_matrix(
+    lbs: Sequence[str],
+    make_scenario: Callable[[str], Scenario],
+    run: Callable[[Scenario], ScenarioResult],
+) -> Dict[str, ScenarioResult]:
+    """Run the same experiment under each load balancer."""
+    return {lb: run(make_scenario(lb)) for lb in lbs}

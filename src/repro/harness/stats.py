@@ -1,0 +1,86 @@
+"""Multi-seed experiment statistics.
+
+The paper runs "each experiment multiple times to account for randomness
+in the initial EVs" (Sec. 4.5.4).  :func:`repeat` runs a scenario
+factory across seeds and aggregates any scalar metric with a mean and a
+t-distribution confidence interval, so benches and users can report
+seed-robust numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+#: two-sided 95% t-critical values for small sample sizes (df = n - 1)
+_T95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+        6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228}
+
+
+@dataclass
+class Aggregate:
+    """Mean and spread of one metric over repeated runs."""
+
+    samples: List[float]
+
+    @property
+    def n(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / self.n if self.samples else float("nan")
+
+    @property
+    def stdev(self) -> float:
+        if self.n < 2:
+            return 0.0
+        m = self.mean
+        return math.sqrt(sum((x - m) ** 2 for x in self.samples)
+                         / (self.n - 1))
+
+    @property
+    def ci95(self) -> float:
+        """Half-width of the 95% confidence interval of the mean."""
+        if self.n < 2:
+            return 0.0
+        t = _T95.get(self.n - 1, 1.96)
+        return t * self.stdev / math.sqrt(self.n)
+
+    @property
+    def min(self) -> float:
+        return min(self.samples) if self.samples else float("nan")
+
+    @property
+    def max(self) -> float:
+        return max(self.samples) if self.samples else float("nan")
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} +- {self.ci95:.2f} (n={self.n})"
+
+
+def repeat(run: Callable[[int], float],
+           seeds: Sequence[int] = (1, 2, 3)) -> Aggregate:
+    """Run ``run(seed)`` for each seed and aggregate the scalar results.
+
+    >>> repeat(lambda seed: float(seed), seeds=(1, 2, 3)).mean
+    2.0
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return Aggregate([float(run(seed)) for seed in seeds])
+
+
+def compare(run_a: Callable[[int], float], run_b: Callable[[int], float],
+            seeds: Sequence[int] = (1, 2, 3)) -> dict:
+    """Paired comparison of two scenario factories over shared seeds.
+
+    Returns the two aggregates and the per-seed ratio aggregate
+    (``a / b``), which is the seed-robust speedup estimate.
+    """
+    a = repeat(run_a, seeds)
+    b = repeat(run_b, seeds)
+    ratios = [x / y if y else float("inf")
+              for x, y in zip(a.samples, b.samples)]
+    return {"a": a, "b": b, "ratio": Aggregate(ratios)}

@@ -1,0 +1,37 @@
+"""Sender-side load balancers: REPS plus the Sec. 4.1 baseline suite.
+
+Importing this package registers every algorithm with the factory:
+
+    >>> from repro.lb import available, make_lb
+    >>> sorted(set(available()) & {"reps", "ops", "ecmp"})
+    ['ecmp', 'ops', 'reps']
+"""
+
+from .base import (
+    SWITCH_MODE_FOR_LB,
+    LbContext,
+    SenderLoadBalancer,
+    available,
+    make_lb,
+    register,
+)
+from .bitmap import BitmapLb
+from .flowlet import FlowletLb
+from .mprdma import MprdmaLb
+from .mptcp import MptcpLb
+from .plb import PlbLb
+from .simple import (
+    AdaptiveRoceSenderLb,
+    EcmpLb,
+    IdealSenderLb,
+    OpsLb,
+    WcmpSenderLb,
+)
+
+__all__ = [
+    "LbContext", "SenderLoadBalancer", "SWITCH_MODE_FOR_LB",
+    "available", "make_lb", "register",
+    "BitmapLb", "FlowletLb", "MprdmaLb", "MptcpLb", "PlbLb",
+    "AdaptiveRoceSenderLb", "EcmpLb", "IdealSenderLb", "OpsLb",
+    "WcmpSenderLb",
+]

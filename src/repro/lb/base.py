@@ -1,0 +1,103 @@
+"""Sender-side load balancer interface and registry (Sec. 4.1 baselines).
+
+Every sender-side algorithm exposes the same four hooks the transport
+drives:
+
+- ``next_entropy(now)``  — choose the EV for the next data packet,
+- ``on_ack(ev, ecn, now)`` — an ACK returned, echoing EV + ECN mark,
+- ``on_nack(ev, now)``   — a trimmed-packet NACK (congestion loss),
+- ``on_timeout(ev, now)`` — an RTO fired (possible failure).
+
+Switch-side schemes (Adaptive RoCE, the Fig. 9 oracle) are configured via
+the topology's ``switch_mode``; their sender half is plain spraying.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..core.reps import RepsConfig, RepsSender
+
+
+@dataclass
+class LbContext:
+    """Everything a load balancer may need about its flow."""
+
+    rng: random.Random
+    evs_size: int = 65536
+    rtt_ps: int = 8_000_000
+    flow_id: int = 0
+    src: int = 0
+    dst: int = 0
+    cwnd_pkts: Callable[[], int] = field(default=lambda: 32)
+    reps_config: Optional[RepsConfig] = None
+
+
+class SenderLoadBalancer:
+    """Base class: OPS-like behaviour (random EV, ignore feedback)."""
+
+    name = "base"
+
+    def __init__(self, ctx: LbContext) -> None:
+        self.ctx = ctx
+
+    def next_entropy(self, now: int) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def on_ack(self, ev: int, ecn: bool, now: int) -> None:
+        return
+
+    def on_nack(self, ev: int, now: int) -> None:
+        return
+
+    def on_timeout(self, ev: int, now: int) -> None:
+        return
+
+
+LbFactory = Callable[[LbContext], object]
+
+_REGISTRY: Dict[str, LbFactory] = {}
+
+#: LB names that require a non-default switch forwarding mode.
+SWITCH_MODE_FOR_LB = {
+    "adaptive_roce": "adaptive",
+    "ideal": "ideal",
+    "wcmp": "wcmp",
+    "reps_source": "source",
+}
+
+
+def register(name: str) -> Callable[[LbFactory], LbFactory]:
+    def deco(factory: LbFactory) -> LbFactory:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate load balancer {name!r}")
+        _REGISTRY[name] = factory
+        return factory
+    return deco
+
+
+def make_lb(name: str, ctx: LbContext):
+    """Instantiate a registered load balancer for one flow."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown load balancer {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(ctx)
+
+
+def available() -> list:
+    return sorted(_REGISTRY)
+
+
+def _make_reps(ctx: LbContext) -> RepsSender:
+    cfg = ctx.reps_config or RepsConfig(evs_size=ctx.evs_size)
+    if cfg.evs_size != ctx.evs_size and ctx.reps_config is None:
+        cfg.evs_size = ctx.evs_size
+    return RepsSender(cfg, rng=ctx.rng, cwnd_pkts=ctx.cwnd_pkts)
+
+
+register("reps")(_make_reps)

@@ -1,0 +1,70 @@
+"""The two non-adaptive baselines: ECMP and OPS (Sec. 2.2).
+
+Also the sender halves of the switch-side schemes: Adaptive RoCE and the
+Fig. 9 oracle spray randomly at the sender and let the switch decide.
+"""
+
+from __future__ import annotations
+
+from .base import LbContext, SenderLoadBalancer, register
+
+
+@register("ecmp")
+class EcmpLb(SenderLoadBalancer):
+    """Classic ECMP: one static EV for the whole flow.
+
+    All packets of the connection hash identically, so the flow is pinned
+    to a single path — the hash-collision failure mode of Sec. 2.2.
+    """
+
+    name = "ecmp"
+
+    def __init__(self, ctx: LbContext) -> None:
+        super().__init__(ctx)
+        self._ev = ctx.rng.randrange(ctx.evs_size)
+
+    def next_entropy(self, now: int) -> int:
+        return self._ev
+
+
+@register("ops")
+class OpsLb(SenderLoadBalancer):
+    """Oblivious Packet Spraying: a fresh random EV per packet."""
+
+    name = "ops"
+
+    def next_entropy(self, now: int) -> int:
+        return self.ctx.rng.randrange(self.ctx.evs_size)
+
+
+@register("adaptive_roce")
+class AdaptiveRoceSenderLb(OpsLb):
+    """Sender half of Adaptive RoCE: spray; switches pick least-queue."""
+
+    name = "adaptive_roce"
+
+
+@register("ideal")
+class IdealSenderLb(OpsLb):
+    """Sender half of the Fig. 9 'Theoretical Best' oracle."""
+
+    name = "ideal"
+
+
+@register("wcmp")
+class WcmpSenderLb(EcmpLb):
+    """Sender half of WCMP: per-flow static EV; switches weight the
+    group by link rate (Sec. 4.3.2's known-asymmetry alternative)."""
+
+    name = "wcmp"
+
+
+def _make_reps_source(ctx):
+    """REPS over source routing (Sec. 3.3): the EV is the path id, so a
+    modest EVS suffices; the algorithm itself is unchanged."""
+    from ..core.reps import RepsConfig, RepsSender
+    cfg = ctx.reps_config or RepsConfig(evs_size=ctx.evs_size)
+    return RepsSender(cfg, rng=ctx.rng, cwnd_pkts=ctx.cwnd_pkts)
+
+
+register("reps_source")(_make_reps_source)

@@ -1,0 +1,21 @@
+"""Section-5 theory models: balls-into-bins analyses of OPS and REPS."""
+
+from .balls_bins import (
+    BinsTrace,
+    average_max_load_curve,
+    batched_balls_into_bins,
+)
+from .imbalance import ImbalanceStats, imbalance_sweep, load_imbalance
+from .recycled import (
+    RecycledParams,
+    RecycledTrace,
+    recycled_balls_into_bins,
+    theorem_bounds,
+)
+
+__all__ = [
+    "BinsTrace", "average_max_load_curve", "batched_balls_into_bins",
+    "ImbalanceStats", "imbalance_sweep", "load_imbalance",
+    "RecycledParams", "RecycledTrace", "recycled_balls_into_bins",
+    "theorem_bounds",
+]

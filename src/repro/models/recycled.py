@@ -1,0 +1,117 @@
+"""Recycled balls-into-bins: the REPS convergence model (Sec. 5.1).
+
+The paper's new model: ``b * n`` colors cycle round-robin in batches of
+``n``.  Each round every non-empty bin removes one ball; if the bin held
+at most ``tau`` balls, the removed ball's color *remembers* the bin
+(unless it already remembers another); above ``tau`` the color forgets.
+Colors with a memory re-throw into their remembered bin; the rest throw
+uniformly at random.
+
+Theorem 5.1: for n >= 16, tau >= 4 ln n, b >= 2.4 ln n the process
+converges in O(n log n) rounds with all queues O(log n) — while plain
+batched spraying (``balls_bins.py``) grows without bound.  Fig. 18 plots
+the two side by side; Fig. 20 adds coalesced recycling (a color is only
+updated every ``coalesce`` removals, modelling ACK coalescing).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .balls_bins import BinsTrace
+
+
+@dataclass
+class RecycledParams:
+    """Parameters of the recycled balls-into-bins process."""
+
+    n_bins: int
+    b: Optional[float] = None      # colors = b * n (default from Thm 5.1)
+    tau: Optional[int] = None      # remember threshold (default from Thm 5.1)
+    coalesce: int = 1              # color update every k-th removal
+
+    def resolved(self) -> "RecycledParams":
+        n = self.n_bins
+        ln_n = math.log(max(n, 2))
+        b = self.b if self.b is not None else max(2.4 * ln_n, 2.0)
+        tau = self.tau if self.tau is not None else max(int(4 * ln_n), 4)
+        return RecycledParams(n_bins=n, b=b, tau=tau,
+                              coalesce=self.coalesce)
+
+
+@dataclass
+class RecycledTrace(BinsTrace):
+    """Adds convergence bookkeeping to the base trace."""
+
+    remembered_fraction: List[float] = field(default_factory=list)
+    converged_round: Optional[int] = None
+
+
+def recycled_balls_into_bins(
+    params: RecycledParams,
+    rounds: int,
+    *,
+    rng: Optional[random.Random] = None,
+) -> RecycledTrace:
+    """Simulate the recycled model for ``rounds`` steps at full rate."""
+    p = params.resolved()
+    n = p.n_bins
+    if n < 1:
+        raise ValueError("need at least one bin")
+    rng = rng or random.Random()
+    n_colors = max(n, int(p.b * n))
+    # memory[c] = remembered bin of color c, or None
+    memory: List[Optional[int]] = [None] * n_colors
+    # each bin is a FIFO of colors (FIFO removal matters for the proof)
+    bins: List[deque] = [deque() for _ in range(n)]
+    trace = RecycledTrace(n)
+    color_cursor = 0
+    removals = [0] * n_colors  # coalescing: update memory every k-th pop
+    for rnd in range(rounds):
+        # removal phase
+        for i, q in enumerate(bins):
+            if not q:
+                continue
+            load_before = len(q)
+            c = q.popleft()
+            removals[c] += 1
+            if removals[c] % p.coalesce != 0:
+                continue  # coalesced away: no memory update this time
+            if load_before <= p.tau:
+                if memory[c] is None:
+                    memory[c] = i
+            else:
+                memory[c] = None
+        # throw phase: next batch of n colors
+        for k in range(n):
+            c = (color_cursor + k) % n_colors
+            target = memory[c]
+            if target is None:
+                target = rng.randrange(n)
+            bins[target].append(c)
+        color_cursor = (color_cursor + n) % n_colors
+        max_load = max(len(q) for q in bins)
+        trace.max_load.append(max_load)
+        trace.total_balls.append(sum(len(q) for q in bins))
+        remembered = sum(1 for m in memory if m is not None)
+        trace.remembered_fraction.append(remembered / n_colors)
+        if trace.converged_round is None and max_load <= p.tau and \
+                rnd > 0 and all(len(q) for q in bins):
+            trace.converged_round = rnd
+    return trace
+
+
+def theorem_bounds(n: int) -> dict:
+    """The Theorem 5.1 parameter thresholds for ``n`` bins."""
+    ln_n = math.log(max(n, 2))
+    return {
+        "n": n,
+        "tau_min": 4 * ln_n,
+        "b_min": 2.4 * ln_n,
+        "expected_rounds": n * ln_n,
+        "max_load_order": ln_n,
+    }

@@ -1,0 +1,22 @@
+"""Packet-level discrete-event network simulator (htsim substitute)."""
+
+from .engine import Engine, Timer
+from .failures import FailureInjector
+from .link import Cable
+from .metrics import RunMetrics, SeriesRecorder
+from .network import Network, NetworkConfig
+from .packet import CONTROL_PACKET_BYTES, Packet, make_ack, make_nack
+from .port import EgressPort, PortStats
+from .switch import Host, Node, Switch, ecmp_hash
+from .topology import FatTree, TopologyParams
+from .transport import FlowReceiver, FlowSender
+from .units import MS, NS, PS, SEC, US, tx_time_ps, us_to_ps
+
+__all__ = [
+    "Engine", "Timer", "FailureInjector", "Cable", "RunMetrics",
+    "SeriesRecorder", "Network", "NetworkConfig", "Packet",
+    "CONTROL_PACKET_BYTES", "make_ack", "make_nack", "EgressPort",
+    "PortStats", "Host", "Node", "Switch", "ecmp_hash", "FatTree",
+    "TopologyParams", "FlowReceiver", "FlowSender",
+    "PS", "NS", "US", "MS", "SEC", "tx_time_ps", "us_to_ps",
+]

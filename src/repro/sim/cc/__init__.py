@@ -1,0 +1,11 @@
+"""Congestion-control algorithms for the out-of-order transport."""
+
+from .base import CongestionControl, available, make_cc, register
+from .dctcp import DctcpCc
+from .eqds import EqdsCc
+from .internal import InternalCc
+
+__all__ = [
+    "CongestionControl", "DctcpCc", "EqdsCc", "InternalCc",
+    "available", "make_cc", "register",
+]

@@ -1,0 +1,80 @@
+"""Congestion-control interface (Sec. 2.1 / 4.5.3).
+
+REPS is CC-agnostic as long as the CC tolerates out-of-order delivery and
+reacts to ECN; the three algorithms here mirror the paper's evaluation
+set: a DCTCP variant (the MPRDMA tuning used in all simulation baselines),
+an EQDS-like fixed-window receiver-driven stand-in, and an "internal"
+ECN-fraction AIMD controller standing in for the proprietary CC of the
+FPGA testbed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+
+class CongestionControl:
+    """Window-based congestion control, in bytes."""
+
+    name = "base"
+
+    def __init__(self, *, mtu: int, init_cwnd: int,
+                 min_cwnd: int, max_cwnd: int) -> None:
+        self.mtu = mtu
+        self.min_cwnd = min_cwnd
+        self.max_cwnd = max_cwnd
+        self.cwnd = float(min(max(init_cwnd, min_cwnd), max_cwnd))
+
+    # ------------------------------------------------------------------
+    def on_ack(self, acked_bytes: int, ecn: bool, now: int) -> None:
+        """One ACK processed (possibly covering several packets)."""
+        return
+
+    def on_nack(self, now: int) -> None:
+        """A trimmed-packet NACK: congestion loss."""
+        return
+
+    def on_timeout(self, now: int) -> None:
+        """An RTO fired: severe loss (congestion or failure)."""
+        return
+
+    # ------------------------------------------------------------------
+    def _clamp(self) -> None:
+        if self.cwnd < self.min_cwnd:
+            self.cwnd = float(self.min_cwnd)
+        elif self.cwnd > self.max_cwnd:
+            self.cwnd = float(self.max_cwnd)
+
+    @property
+    def cwnd_pkts(self) -> int:
+        return max(1, int(self.cwnd) // self.mtu)
+
+
+CcFactory = Callable[..., CongestionControl]
+
+_REGISTRY: Dict[str, CcFactory] = {}
+
+
+def register(name: str):
+    def deco(cls):
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate congestion control {name!r}")
+        _REGISTRY[name] = cls
+        return cls
+    return deco
+
+
+def make_cc(name: str, *, mtu: int, init_cwnd: int,
+            min_cwnd: int, max_cwnd: int, rtt_ps: int) -> CongestionControl:
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown congestion control {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(mtu=mtu, init_cwnd=init_cwnd, min_cwnd=min_cwnd,
+               max_cwnd=max_cwnd, rtt_ps=rtt_ps)
+
+
+def available() -> list:
+    return sorted(_REGISTRY)

@@ -1,0 +1,50 @@
+"""DCTCP variant used by MPRDMA — the paper's default simulation CC.
+
+Per Sec. 4.1: "It applies per-ACK congestion window updates, allows the
+receiver to accept and acknowledge out-of-order packets, and reduces the
+congestion window by one MTU in case of packet drops."
+
+Per-ACK behaviour:
+- ECN fraction is tracked by the standard DCTCP EWMA (gain 1/16).
+- a marked ACK shrinks the window by ``alpha * MTU / 2`` (the per-ACK
+  spreading of DCTCP's once-per-window ``cwnd *= 1 - alpha/2``),
+- an unmarked ACK grows it additively by ``MTU^2 / cwnd`` (one MTU/RTT).
+"""
+
+from __future__ import annotations
+
+from .base import CongestionControl, register
+
+#: DCTCP EWMA gain g
+_G = 1.0 / 16.0
+
+
+@register("dctcp")
+class DctcpCc(CongestionControl):
+    """Per-ACK DCTCP with one-MTU drop decrease (the MPRDMA tuning)."""
+
+    name = "dctcp"
+
+    def __init__(self, *, mtu: int, init_cwnd: int, min_cwnd: int,
+                 max_cwnd: int, rtt_ps: int = 0) -> None:
+        super().__init__(mtu=mtu, init_cwnd=init_cwnd,
+                         min_cwnd=min_cwnd, max_cwnd=max_cwnd)
+        self.alpha = 0.0
+
+    def on_ack(self, acked_bytes: int, ecn: bool, now: int) -> None:
+        self.alpha = (1.0 - _G) * self.alpha + _G * (1.0 if ecn else 0.0)
+        pkts = max(1, acked_bytes // self.mtu)
+        if ecn:
+            self.cwnd -= self.alpha * self.mtu / 2.0 * pkts
+        else:
+            self.cwnd += self.mtu * self.mtu / self.cwnd * pkts
+        self._clamp()
+
+    def on_nack(self, now: int) -> None:
+        # "reduces the congestion window by one MTU in case of packet drops"
+        self.cwnd -= self.mtu
+        self._clamp()
+
+    def on_timeout(self, now: int) -> None:
+        self.cwnd -= self.mtu
+        self._clamp()

@@ -1,0 +1,39 @@
+"""EQDS-like congestion control (Olteanu et al., NSDI '22).
+
+EQDS moves queues to the edge: senders keep a fixed window of one BDP and
+the fabric relies on packet trimming plus receiver pacing to absorb
+overload.  We model the sender-visible contract — a fixed BDP window that
+never reacts to ECN (trims handle overload) — which is the property that
+matters for the Fig. 15 "REPS helps any CC" comparison.
+"""
+
+from __future__ import annotations
+
+from .base import CongestionControl, register
+
+
+@register("eqds")
+class EqdsCc(CongestionControl):
+    """Fixed one-BDP window; loss recovery is the transport's job."""
+
+    name = "eqds"
+
+    def __init__(self, *, mtu: int, init_cwnd: int, min_cwnd: int,
+                 max_cwnd: int, rtt_ps: int = 0) -> None:
+        super().__init__(mtu=mtu, init_cwnd=init_cwnd,
+                         min_cwnd=min_cwnd, max_cwnd=max_cwnd)
+        #: the fixed window EQDS pins the sender to (one BDP)
+        self._target = self.cwnd
+
+    def on_timeout(self, now: int) -> None:
+        # repeated RTOs (severe failure) halve the window so a blackholed
+        # flow cannot keep a full BDP in flight forever
+        self.cwnd *= 0.5
+        self._clamp()
+
+    def on_ack(self, acked_bytes: int, ecn: bool, now: int) -> None:
+        # restore toward the fixed target after timeout-driven shrinking;
+        # ECN never moves the window (trims absorb overload in EQDS)
+        if self.cwnd < self._target:
+            self.cwnd = min(self._target,
+                            self.cwnd + self.mtu * self.mtu / self.cwnd)

@@ -1,0 +1,60 @@
+""""Internal" CC: a stand-in for the proprietary FPGA-testbed algorithm.
+
+The paper describes it only as relying on "ECN marking, congestion
+notification packets, and per-flow congestion window adjustments"
+(Sec. 4.1).  We implement a round-based AIMD on the per-RTT ECN fraction:
+once per RTT the window shrinks multiplicatively in proportion to the
+fraction of marked ACKs, or grows by one MTU if the round was clean.
+This is a *substitution* (documented in DESIGN.md): any reasonable
+ECN-window controller demonstrates the Sec. 4.5.3 claim that REPS is
+CC-agnostic.
+"""
+
+from __future__ import annotations
+
+from .base import CongestionControl, register
+
+
+@register("internal")
+class InternalCc(CongestionControl):
+    """Round-based ECN-fraction AIMD."""
+
+    name = "internal"
+
+    #: multiplicative-decrease strength
+    beta = 0.5
+    #: ECN fraction below which a round counts as clean
+    clean_threshold = 0.05
+
+    def __init__(self, *, mtu: int, init_cwnd: int, min_cwnd: int,
+                 max_cwnd: int, rtt_ps: int) -> None:
+        super().__init__(mtu=mtu, init_cwnd=init_cwnd,
+                         min_cwnd=min_cwnd, max_cwnd=max_cwnd)
+        self.rtt_ps = rtt_ps
+        self._round_start = 0
+        self._acks = 0
+        self._ecn = 0
+
+    def on_ack(self, acked_bytes: int, ecn: bool, now: int) -> None:
+        if self._acks == 0:
+            self._round_start = now
+        self._acks += 1
+        if ecn:
+            self._ecn += 1
+        if now - self._round_start >= self.rtt_ps:
+            frac = self._ecn / self._acks
+            if frac > self.clean_threshold:
+                self.cwnd *= max(0.3, 1.0 - self.beta * frac)
+            else:
+                self.cwnd += self.mtu
+            self._clamp()
+            self._acks = 0
+            self._ecn = 0
+
+    def on_nack(self, now: int) -> None:
+        self.cwnd -= self.mtu
+        self._clamp()
+
+    def on_timeout(self, now: int) -> None:
+        self.cwnd *= 0.5
+        self._clamp()

@@ -1,0 +1,114 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast event scheduler: a binary heap of ``(time, seq, fn, args)``
+tuples.  ``seq`` is a monotonically increasing tiebreaker so events
+scheduled for the same instant fire in FIFO order, which keeps runs
+deterministic for a fixed seed.
+
+This replaces the htsim C++ event loop the paper builds on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class Engine:
+    """Event loop with integer-picosecond timestamps."""
+
+    __slots__ = ("now", "_heap", "_seq", "_stopped", "events_executed")
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list = []
+        self._seq: int = 0
+        self._stopped: bool = False
+        self.events_executed: int = 0
+
+    def at(self, time_ps: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at absolute time ``time_ps``."""
+        if time_ps < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time_ps} < now={self.now}"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (time_ps, self._seq, fn, args))
+
+    def after(self, delay_ps: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` after ``delay_ps`` picoseconds."""
+        self.at(self.now + delay_ps, fn, *args)
+
+    def stop(self) -> None:
+        """Stop the loop after the currently executing event returns."""
+        self._stopped = True
+
+    def run(self, until_ps: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the heap drains, ``until_ps``, or ``stop()``.
+
+        Returns the number of events executed by this call.
+        """
+        heap = self._heap
+        executed = 0
+        self._stopped = False
+        while heap and not self._stopped:
+            if max_events is not None and executed >= max_events:
+                break
+            time_ps, _, fn, args = heap[0]
+            if until_ps is not None and time_ps > until_ps:
+                self.now = until_ps
+                break
+            heapq.heappop(heap)
+            self.now = time_ps
+            fn(*args)
+            executed += 1
+        self.events_executed += executed
+        return executed
+
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled shells)."""
+        return len(self._heap)
+
+
+class Timer:
+    """Re-armable one-shot timer built on generation counters.
+
+    Cancelling a heap entry is O(n); instead each (re)arm bumps a
+    generation and stale firings are ignored.  This is the standard
+    pattern for RTO timers where nearly every timer is cancelled.
+    """
+
+    __slots__ = ("_engine", "_fn", "_gen", "_armed_at")
+
+    def __init__(self, engine: Engine, fn: Callable[[], Any]) -> None:
+        self._engine = engine
+        self._fn = fn
+        self._gen = 0
+        self._armed_at: Optional[int] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._armed_at is not None
+
+    @property
+    def deadline(self) -> Optional[int]:
+        return self._armed_at
+
+    def arm_at(self, time_ps: int) -> None:
+        """(Re)arm to fire at absolute ``time_ps``; replaces prior arming."""
+        self._gen += 1
+        self._armed_at = time_ps
+        self._engine.at(time_ps, self._fire, self._gen)
+
+    def arm_after(self, delay_ps: int) -> None:
+        self.arm_at(self._engine.now + delay_ps)
+
+    def cancel(self) -> None:
+        self._gen += 1
+        self._armed_at = None
+
+    def _fire(self, gen: int) -> None:
+        if gen != self._gen:
+            return  # stale: re-armed or cancelled since scheduling
+        self._armed_at = None
+        self._fn()

@@ -1,0 +1,60 @@
+"""Cables: the failure domain shared by both directions of a link.
+
+An :class:`EgressPort` (see ``port.py``) models one *direction* of a link;
+the :class:`Cable` is the physical object both directions hang off.  Link
+failures, bit-error-rate loss and bandwidth degradation are properties of
+the cable, so failing a cable silently kills traffic both ways — exactly
+the failure the paper's freezing mode is designed to dodge.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .port import EgressPort
+
+
+class Cable:
+    """A bidirectional physical link between two nodes.
+
+    Attributes:
+        name: human-readable identifier, e.g. ``"t0_3<->t1_1"``.
+        down: when True, every packet touching the cable is dropped (in
+            either direction), modelling a cable pull / link flap.
+        ber:  Bernoulli per-packet drop probability (bit-error loss).
+        a_port, b_port: the two directed egress ports using this cable.
+    """
+
+    __slots__ = ("name", "down", "ber", "a_port", "b_port")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.down = False
+        self.ber = 0.0
+        self.a_port: Optional["EgressPort"] = None
+        self.b_port: Optional["EgressPort"] = None
+
+    def attach(self, a_port: "EgressPort", b_port: "EgressPort") -> None:
+        """Register the two directed ports; each port back-references us."""
+        self.a_port = a_port
+        self.b_port = b_port
+        a_port.cable = self
+        b_port.cable = self
+
+    def set_rate(self, gbps: float) -> None:
+        """Degrade (or restore) the bandwidth of both directions."""
+        if self.a_port is not None:
+            self.a_port.rate_gbps = gbps
+        if self.b_port is not None:
+            self.b_port.rate_gbps = gbps
+
+    def fail(self) -> None:
+        self.down = True
+
+    def recover(self) -> None:
+        self.down = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "DOWN" if self.down else "up"
+        return f"<Cable {self.name} {state} ber={self.ber}>"

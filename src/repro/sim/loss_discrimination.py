@@ -1,0 +1,76 @@
+"""Loss-type discrimination (Appendix A).
+
+REPS should enter freezing mode only for *failure* losses, not for
+congestion drops.  The paper gives two strategies:
+
+1. **Packet trimming**: congestion drops become trimmed headers + NACKs
+   (handled natively by the transport — NACKs never freeze).
+2. **RTT heuristic** (no trimming): "analyze the maximum round-trip time
+   observed during a period preceding the timeout event.  If the maximum
+   RTT immediately before the timeout is high, the packet was likely
+   lost due to congestion; if it was low, more likely a failure."
+
+:class:`RttLossClassifier` implements strategy 2: a sliding window of
+RTT samples; a timeout is classified as a *failure* when the recent
+maximum RTT sits below ``congested_factor`` x base RTT (queues were
+short, so the loss cannot be a congestion drop).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+
+class RttLossClassifier:
+    """Sliding-window RTT observer that labels timeouts.
+
+    Args:
+        base_rtt_ps: the uncongested network RTT.
+        window_ps: how far back RTT samples count as "immediately
+            before" a timeout.
+        congested_factor: recent max RTT above ``factor * base_rtt``
+            means queues were deep, i.e. a congestion loss.
+    """
+
+    def __init__(self, base_rtt_ps: int, *, window_ps: int = 0,
+                 congested_factor: float = 2.0) -> None:
+        if base_rtt_ps <= 0:
+            raise ValueError("base_rtt_ps must be positive")
+        if congested_factor <= 1.0:
+            raise ValueError("congested_factor must exceed 1.0")
+        self.base_rtt_ps = base_rtt_ps
+        self.window_ps = window_ps or 8 * base_rtt_ps
+        self.congested_factor = congested_factor
+        self._samples: Deque[Tuple[int, int]] = deque()  # (t, rtt)
+
+    def observe(self, now: int, rtt_ps: int) -> None:
+        """Record one ACK's measured RTT."""
+        self._samples.append((now, rtt_ps))
+        self._expire(now)
+
+    def _expire(self, now: int) -> None:
+        horizon = now - self.window_ps
+        samples = self._samples
+        while samples and samples[0][0] < horizon:
+            samples.popleft()
+
+    def recent_max_rtt(self, now: int) -> int:
+        """Max RTT observed within the window before ``now`` (0 if no
+        samples — an idle path tells us nothing about congestion)."""
+        self._expire(now)
+        return max((r for _, r in self._samples), default=0)
+
+    def classify_timeout(self, now: int) -> str:
+        """Label a timeout ``"failure"`` or ``"congestion"``.
+
+        No recent samples also reads as failure: a healthy-but-congested
+        path would at least be returning *some* (slow) ACKs.
+        """
+        max_rtt = self.recent_max_rtt(now)
+        threshold = self.congested_factor * self.base_rtt_ps
+        return "congestion" if max_rtt >= threshold else "failure"
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._samples)

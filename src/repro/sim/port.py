@@ -1,0 +1,213 @@
+"""Egress port: FIFO queue + transmitter + RED-style ECN marking.
+
+One :class:`EgressPort` models one direction of a link: a bounded FIFO of
+data packets, a strict-priority control queue (ACKs, NACKs and trimmed
+headers — the NDP/UET discipline), a serializing transmitter, and the wire
+propagation to the peer node.
+
+ECN marking follows the paper's setup (Sec. 2.1/4.1): packets are marked
+with probability rising linearly from 0 at ``Kmin`` to 1 at ``Kmax`` of
+the instantaneous queue occupancy, evaluated at enqueue.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Optional
+
+from .engine import Engine
+from .link import Cable
+from .packet import Packet
+from .units import tx_time_ps
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .switch import Node
+
+#: Control queue capacity, bytes.  Control packets are 64 B, so this is
+#: deep enough that control loss only occurs under pathological incast.
+CONTROL_QUEUE_CAPACITY = 4 * 1024 * 1024
+
+
+class PortStats:
+    """Counters accumulated by one egress port."""
+
+    __slots__ = (
+        "bytes_tx", "pkts_tx", "drops_overflow", "drops_link_down",
+        "drops_ber", "trims", "ecn_marks", "pkts_enqueued",
+    )
+
+    def __init__(self) -> None:
+        self.bytes_tx = 0
+        self.pkts_tx = 0
+        self.drops_overflow = 0
+        self.drops_link_down = 0
+        self.drops_ber = 0
+        self.trims = 0
+        self.ecn_marks = 0
+        self.pkts_enqueued = 0
+
+    @property
+    def total_drops(self) -> int:
+        return self.drops_overflow + self.drops_link_down + self.drops_ber
+
+
+class EgressPort:
+    """One direction of a link: queue, transmitter, and wire."""
+
+    __slots__ = (
+        "engine", "name", "rate_gbps", "latency_ps", "peer", "cable",
+        "capacity_bytes", "kmin_bytes", "kmax_bytes", "ecn_enabled",
+        "trim_enabled", "rng", "stats", "excluded",
+        "_data_q", "_ctrl_q", "_data_bytes", "_ctrl_bytes", "_busy",
+        "on_drop",
+    )
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        *,
+        rate_gbps: float,
+        latency_ps: int,
+        capacity_bytes: int,
+        kmin_bytes: int,
+        kmax_bytes: int,
+        rng: random.Random,
+        ecn_enabled: bool = True,
+        trim_enabled: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.rate_gbps = rate_gbps
+        self.latency_ps = latency_ps
+        self.peer: Optional["Node"] = None
+        self.cable: Optional[Cable] = None
+        self.capacity_bytes = capacity_bytes
+        self.kmin_bytes = kmin_bytes
+        self.kmax_bytes = kmax_bytes
+        self.ecn_enabled = ecn_enabled
+        self.trim_enabled = trim_enabled
+        self.rng = rng
+        self.stats = PortStats()
+        #: set True when the control plane excludes this port from ECMP
+        #: groups after a failure (Sec. 3.2's "10 ms to update the group").
+        self.excluded = False
+        self._data_q: deque = deque()
+        self._ctrl_q: deque = deque()
+        self._data_bytes = 0
+        self._ctrl_bytes = 0
+        self._busy = False
+        #: optional hook invoked with each dropped data packet (used by the
+        #: transport for loss accounting in tests; real senders learn about
+        #: loss only via timeouts / NACKs).
+        self.on_drop: Optional[Callable[[Packet], None]] = None
+
+    # ------------------------------------------------------------------
+    # queue state
+    # ------------------------------------------------------------------
+    @property
+    def queue_bytes(self) -> int:
+        """Bytes of data waiting (excludes the in-flight packet)."""
+        return self._data_bytes
+
+    @property
+    def total_queue_bytes(self) -> int:
+        return self._data_bytes + self._ctrl_bytes
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    # ------------------------------------------------------------------
+    # enqueue path
+    # ------------------------------------------------------------------
+    def enqueue(self, pkt: Packet) -> None:
+        """Accept a packet for transmission (or drop / trim it)."""
+        self.stats.pkts_enqueued += 1
+        if pkt.is_control:
+            if self._ctrl_bytes + pkt.size > CONTROL_QUEUE_CAPACITY:
+                self._drop(pkt, "overflow")
+                return
+            self._ctrl_q.append(pkt)
+            self._ctrl_bytes += pkt.size
+        else:
+            if self._data_bytes + pkt.size > self.capacity_bytes:
+                if self.trim_enabled:
+                    pkt.trim()
+                    self.stats.trims += 1
+                    self._ctrl_q.append(pkt)
+                    self._ctrl_bytes += pkt.size
+                else:
+                    self._drop(pkt, "overflow")
+                    return
+            else:
+                if self.ecn_enabled and not pkt.ecn:
+                    self._maybe_mark(pkt)
+                self._data_q.append(pkt)
+                self._data_bytes += pkt.size
+        if not self._busy:
+            self._start_next()
+
+    def _maybe_mark(self, pkt: Packet) -> None:
+        """RED-style linear marking on instantaneous occupancy."""
+        q = self._data_bytes
+        if q <= self.kmin_bytes:
+            return
+        if q >= self.kmax_bytes:
+            pkt.ecn = True
+        else:
+            p = (q - self.kmin_bytes) / (self.kmax_bytes - self.kmin_bytes)
+            if self.rng.random() < p:
+                pkt.ecn = True
+        if pkt.ecn:
+            self.stats.ecn_marks += 1
+
+    def _drop(self, pkt: Packet, reason: str) -> None:
+        if reason == "overflow":
+            self.stats.drops_overflow += 1
+        elif reason == "link_down":
+            self.stats.drops_link_down += 1
+        else:
+            self.stats.drops_ber += 1
+        if self.on_drop is not None:
+            self.on_drop(pkt)
+
+    # ------------------------------------------------------------------
+    # transmit path
+    # ------------------------------------------------------------------
+    def _start_next(self) -> None:
+        if self._ctrl_q:
+            pkt = self._ctrl_q.popleft()
+            self._ctrl_bytes -= pkt.size
+        elif self._data_q:
+            pkt = self._data_q.popleft()
+            self._data_bytes -= pkt.size
+        else:
+            return
+        self._busy = True
+        self.engine.after(tx_time_ps(pkt.size, self.rate_gbps),
+                          self._tx_done, pkt)
+
+    def _tx_done(self, pkt: Packet) -> None:
+        self._busy = False
+        self.stats.bytes_tx += pkt.size
+        self.stats.pkts_tx += 1
+        cable = self.cable
+        if cable is not None and cable.down:
+            self._drop(pkt, "link_down")
+        elif cable is not None and cable.ber > 0.0 and \
+                self.rng.random() < cable.ber:
+            self._drop(pkt, "ber")
+        else:
+            self.engine.after(self.latency_ps, self._deliver, pkt)
+        self._start_next()
+
+    def _deliver(self, pkt: Packet) -> None:
+        cable = self.cable
+        if cable is not None and cable.down:
+            # the cable died while the packet was in flight
+            self._drop(pkt, "link_down")
+            return
+        assert self.peer is not None, f"port {self.name} has no peer"
+        self.peer.receive(pkt)

@@ -1,0 +1,337 @@
+"""Out-of-order message transport (the UET/NDP-like substrate, Sec. 4.1).
+
+One :class:`FlowSender` / :class:`FlowReceiver` pair moves one message.
+The receiver accepts packets in any order and acknowledges selectively;
+each ACK echoes the data packet's EV and ECN mark back to the sender,
+which is all the feedback REPS needs (Sec. 3.1).
+
+Loss handling:
+
+- **RTO**: a per-flow retransmission timer (70 us default, per Sec. 4.1)
+  re-queues expired packets and reports a *possible failure* to the load
+  balancer (REPS may enter freezing mode).
+- **Trimming** (optional): switches truncate overflowing data packets to
+  headers; the receiver answers with a NACK, which re-queues the packet
+  quickly and reports a *congestion* loss (no freezing) — the Appendix A
+  discrimination.
+
+ACK coalescing (Sec. 4.5.1): the receiver may acknowledge every ``n``-th
+packet.  A coalesced ACK carries all covered sequence numbers; it echoes
+either just the last packet's (EV, ECN) — standard — or the full list —
+the *Carry EVs* variant.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .cc.base import CongestionControl
+from .engine import Engine, Timer
+from .packet import CONTROL_PACKET_BYTES, Packet, make_ack, make_nack
+from .switch import Host
+
+
+class FlowStats:
+    """Per-flow counters."""
+
+    __slots__ = ("pkts_sent", "retransmissions", "timeouts", "nacks",
+                 "acks_received", "ecn_acks")
+
+    def __init__(self) -> None:
+        self.pkts_sent = 0
+        self.retransmissions = 0
+        self.timeouts = 0
+        self.nacks = 0
+        self.acks_received = 0
+        self.ecn_acks = 0
+
+
+class FlowSender:
+    """Sends one message of ``size_bytes`` from ``host`` to ``dst``."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        host: Host,
+        *,
+        flow_id: int,
+        dst: int,
+        size_bytes: int,
+        mtu: int,
+        lb,
+        cc: CongestionControl,
+        rto_ps: int,
+        on_complete: Optional[Callable[["FlowSender"], None]] = None,
+        loss_classifier=None,
+        delay_signal_threshold_ps: Optional[int] = None,
+    ) -> None:
+        if size_bytes <= 0:
+            raise ValueError("flow size must be positive")
+        self.engine = engine
+        self.host = host
+        self.flow_id = flow_id
+        self.src = host.host_id
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.mtu = mtu
+        self.lb = lb
+        self.cc = cc
+        self.rto_ps = rto_ps
+        self.on_complete = on_complete
+        self.n_pkts = (size_bytes + mtu - 1) // mtu
+        self._last_pkt_size = size_bytes - (self.n_pkts - 1) * mtu
+        self._next_new_seq = 0
+        #: seq -> (send_time_ps, size, ev, retx_count)
+        self._outstanding: Dict[int, Tuple[int, int, int, int]] = {}
+        self._inflight_bytes = 0
+        self._retx_q: deque = deque()
+        self._retx_counts: Dict[int, int] = {}
+        self._acked: set = set()
+        self._timer = Timer(engine, self._on_timer)
+        self.stats = FlowStats()
+        self.start_time: Optional[int] = None
+        self.complete_time: Optional[int] = None
+        #: optional Appendix-A RTT heuristic: timeouts classified as
+        #: congestion losses are NOT reported to the LB as failures
+        self.loss_classifier = loss_classifier
+        #: optional delay-as-congestion-signal (Sec. 4.5.3's "version of
+        #: REPS that works just with delay if ECN is not supported"):
+        #: when set, the LB sees rtt > threshold instead of the ECN bit
+        self.delay_signal_threshold_ps = delay_signal_threshold_ps
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.complete_time is not None
+
+    @property
+    def inflight_bytes(self) -> int:
+        return self._inflight_bytes
+
+    def _pkt_size(self, seq: int) -> int:
+        return self._last_pkt_size if seq == self.n_pkts - 1 else self.mtu
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin transmitting (idempotent)."""
+        if self.start_time is not None:
+            return
+        self.start_time = self.engine.now
+        self._try_send()
+
+    def _try_send(self) -> None:
+        if self.done:
+            return
+        now = self.engine.now
+        while self._inflight_bytes < self.cc.cwnd:
+            if self._retx_q:
+                seq = self._retx_q.popleft()
+                if seq in self._acked:
+                    continue
+                retx = self._retx_counts.get(seq, 0)
+            elif self._next_new_seq < self.n_pkts:
+                seq = self._next_new_seq
+                self._next_new_seq += 1
+                retx = 0
+            else:
+                break
+            size = self._pkt_size(seq)
+            ev = self.lb.next_entropy(now)
+            pkt = Packet(self.src, self.dst, self.flow_id, seq, size, ev,
+                         send_time=now, retx=retx)
+            self._outstanding[seq] = (now, size, ev, retx)
+            self._inflight_bytes += size
+            self.stats.pkts_sent += 1
+            if retx:
+                self.stats.retransmissions += 1
+            self.host.send(pkt)
+        self._rearm_timer()
+
+    # ------------------------------------------------------------------
+    def on_ack(self, ack: Packet) -> None:
+        """Handle a (possibly coalesced) acknowledgement."""
+        if self.done:
+            return
+        now = self.engine.now
+        self.stats.acks_received += 1
+        if ack.ecn:
+            self.stats.ecn_acks += 1
+        rtt = now - ack.send_time
+        if self.loss_classifier is not None:
+            self.loss_classifier.observe(now, rtt)
+        # feed the load balancer: the Carry-EVs variant echoes every
+        # covered packet's (ev, ecn); standard ACKs echo only their own.
+        # With a delay threshold configured, the measured RTT substitutes
+        # for the ECN bit as the congestion signal.
+        if self.delay_signal_threshold_ps is not None:
+            signal = rtt > self.delay_signal_threshold_ps
+            if ack.ev_echoes is not None:
+                for ev, _ in ack.ev_echoes:
+                    self.lb.on_ack(ev, signal, now)
+            else:
+                self.lb.on_ack(ack.ev, signal, now)
+        elif ack.ev_echoes is not None:
+            for ev, ecn in ack.ev_echoes:
+                self.lb.on_ack(ev, ecn, now)
+        else:
+            self.lb.on_ack(ack.ev, ack.ecn, now)
+        acked_bytes = 0
+        for seq in (ack.acked_seqs if ack.acked_seqs is not None
+                    else (ack.seq,)):
+            if seq in self._acked:
+                continue
+            self._acked.add(seq)
+            entry = self._outstanding.pop(seq, None)
+            if entry is not None:
+                self._inflight_bytes -= entry[1]
+            acked_bytes += self._pkt_size(seq)
+        if acked_bytes:
+            self.cc.on_ack(acked_bytes, ack.ecn, now)
+        if len(self._acked) == self.n_pkts:
+            self._complete(now)
+        else:
+            self._try_send()
+
+    def on_nack(self, nack: Packet) -> None:
+        """A switch trimmed this packet: fast congestion-loss recovery."""
+        if self.done:
+            return
+        now = self.engine.now
+        self.stats.nacks += 1
+        seq = nack.seq
+        entry = self._outstanding.pop(seq, None)
+        if entry is not None:
+            self._inflight_bytes -= entry[1]
+            self._queue_retx(seq, front=True)
+        self.cc.on_nack(now)
+        self.lb.on_nack(nack.ev, now)
+        self._try_send()
+
+    # ------------------------------------------------------------------
+    def _queue_retx(self, seq: int, front: bool = False) -> None:
+        if seq in self._acked:
+            return
+        self._retx_counts[seq] = self._retx_counts.get(seq, 0) + 1
+        if front:
+            self._retx_q.appendleft(seq)
+        else:
+            self._retx_q.append(seq)
+
+    def _on_timer(self) -> None:
+        if self.done:
+            return
+        now = self.engine.now
+        expired = [seq for seq, (t, _, _, _) in self._outstanding.items()
+                   if t + self.rto_ps <= now]
+        if expired:
+            self.stats.timeouts += len(expired)
+            # Appendix A: with the RTT heuristic, timeouts that look like
+            # congestion drops (deep queues just observed) are kept away
+            # from the LB so REPS does not freeze needlessly
+            report_failure = True
+            if self.loss_classifier is not None:
+                report_failure = \
+                    self.loss_classifier.classify_timeout(now) == "failure"
+            for seq in sorted(expired):
+                _, size, ev, _ = self._outstanding.pop(seq)
+                self._inflight_bytes -= size
+                self._queue_retx(seq)
+                if report_failure:
+                    self.lb.on_timeout(ev, now)
+            self.cc.on_timeout(now)
+            self._try_send()
+        else:
+            self._rearm_timer()
+
+    def _rearm_timer(self) -> None:
+        if not self._outstanding:
+            self._timer.cancel()
+            return
+        deadline = min(t for t, _, _, _ in self._outstanding.values()) \
+            + self.rto_ps
+        if self._timer.deadline != deadline:
+            self._timer.arm_at(max(deadline, self.engine.now))
+
+    def _complete(self, now: int) -> None:
+        self.complete_time = now
+        self._timer.cancel()
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+    # ------------------------------------------------------------------
+    def fct_ps(self) -> Optional[int]:
+        """Flow completion time, or None if unfinished."""
+        if self.start_time is None or self.complete_time is None:
+            return None
+        return self.complete_time - self.start_time
+
+
+class FlowReceiver:
+    """Receives one message; generates (possibly coalesced) ACKs."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        host: Host,
+        *,
+        flow_id: int,
+        src: int,
+        n_pkts: int,
+        coalesce: int = 1,
+        carry_evs: bool = False,
+        ack_delay_ps: int = 2_000_000,
+    ) -> None:
+        if coalesce < 1:
+            raise ValueError("coalesce ratio must be >= 1")
+        self.engine = engine
+        self.host = host
+        self.flow_id = flow_id
+        self.src = src
+        self.n_pkts = n_pkts
+        self.coalesce = coalesce
+        self.carry_evs = carry_evs
+        self.ack_delay_ps = ack_delay_ps
+        self.received: set = set()
+        self.bytes_received = 0
+        self.first_arrival: Optional[int] = None
+        self.last_arrival: Optional[int] = None
+        self._pending: List[Packet] = []
+        self._flush_timer = Timer(engine, self._flush)
+
+    def on_data(self, pkt: Packet) -> None:
+        """Handle an arriving data (or trimmed) packet."""
+        if pkt.trimmed:
+            # payload was cut by a congested switch: NACK immediately
+            self.host.send(make_nack(pkt))
+            return
+        if self.first_arrival is None:
+            self.first_arrival = self.engine.now
+        self.last_arrival = self.engine.now
+        if pkt.seq not in self.received:
+            self.received.add(pkt.seq)
+            self.bytes_received += pkt.size
+        self._pending.append(pkt)
+        if (len(self._pending) >= self.coalesce
+                or len(self.received) == self.n_pkts):
+            self._flush()
+        elif not self._flush_timer.armed:
+            # never hold ACKs hostage to the coalescing ratio: a short
+            # delayed-ACK timer bounds the feedback delay
+            self._flush_timer.arm_after(self.ack_delay_ps)
+
+    def _flush(self) -> None:
+        if not self._pending:
+            return
+        self._flush_timer.cancel()
+        last = self._pending[-1]
+        acked_seqs = [p.seq for p in self._pending]
+        echoes = ([(p.ev, p.ecn) for p in self._pending]
+                  if self.carry_evs else None)
+        ack = make_ack(last, acked_seqs=acked_seqs, ev_echoes=echoes)
+        self._pending.clear()
+        self.host.send(ack)
+
+    @property
+    def complete(self) -> bool:
+        return len(self.received) == self.n_pkts

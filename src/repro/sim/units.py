@@ -1,0 +1,44 @@
+"""Time and bandwidth units for the simulator.
+
+All simulator timestamps are integer **picoseconds**.  Integer time avoids
+floating-point event reordering and makes serialization delays exact:
+at 400 Gbps one byte takes exactly 20 ps.
+"""
+
+from __future__ import annotations
+
+PS = 1
+NS = 1_000
+US = 1_000_000
+MS = 1_000_000_000
+SEC = 1_000_000_000_000
+
+BITS_PER_BYTE = 8
+
+
+def tx_time_ps(size_bytes: int, gbps: float) -> int:
+    """Serialization delay of ``size_bytes`` on a ``gbps`` link, in ps.
+
+    1 Gbps = 1 bit/ns = 8000 ps/byte / gbps.  Rounded up so a transmission
+    never takes zero time.
+    """
+    if gbps <= 0:
+        raise ValueError(f"link rate must be positive, got {gbps}")
+    ps = size_bytes * BITS_PER_BYTE * 1000 / gbps
+    ips = int(ps)
+    return ips if ips == ps else ips + 1
+
+
+def gbps_to_bytes_per_us(gbps: float) -> float:
+    """Convert a link rate to bytes per microsecond."""
+    return gbps * 1000 / BITS_PER_BYTE
+
+
+def ps_to_us(ps: int) -> float:
+    """Convert picoseconds to (float) microseconds."""
+    return ps / US
+
+
+def us_to_ps(us: float) -> int:
+    """Convert microseconds to integer picoseconds."""
+    return int(us * US)

@@ -1,0 +1,29 @@
+"""Workload generators: synthetic patterns, DC traces, AI collectives."""
+
+from .collectives import (
+    AllToAll,
+    ButterflyAllReduce,
+    Collective,
+    RingAllReduce,
+    spine_heavy_ring,
+)
+from .synthetic import incast, permutation, tornado
+from .traces import (
+    FACEBOOK_CDF,
+    TRACES,
+    WEBSEARCH_CDF,
+    TraceFlow,
+    empirical_cdf,
+    generate_trace_flows,
+    mean_flow_size,
+    sample_flow_size,
+)
+
+__all__ = [
+    "incast", "permutation", "tornado",
+    "AllToAll", "ButterflyAllReduce", "Collective", "RingAllReduce",
+    "spine_heavy_ring",
+    "WEBSEARCH_CDF", "FACEBOOK_CDF", "TRACES", "TraceFlow",
+    "empirical_cdf", "generate_trace_flows", "mean_flow_size",
+    "sample_flow_size",
+]

@@ -1,0 +1,142 @@
+"""Datacenter trace workloads (Sec. 4.2, Appendix D).
+
+The paper replays production WebSearch and Facebook traces characterised
+only by their flow-size CDFs (Fig. 24).  We reconstruct those CDFs from
+the published distributions (DCTCP paper's web-search cluster; Facebook
+Hadoop), sample flow sizes by inverse transform, and generate Poisson
+flow arrivals at a requested load level — the standard methodology of the
+works the paper cites [6, 65, 68].
+
+Substitution note (DESIGN.md): real traces are proprietary; the CDFs are
+the paper's own characterisation of them.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+#: WebSearch flow-size CDF (bytes, cumulative probability) — DCTCP paper.
+WEBSEARCH_CDF: Sequence[Tuple[int, float]] = (
+    (6_000, 0.15),
+    (13_000, 0.30),
+    (19_000, 0.45),
+    (33_000, 0.60),
+    (53_000, 0.70),
+    (133_000, 0.80),
+    (667_000, 0.90),
+    (1_333_000, 0.95),
+    (6_667_000, 0.98),
+    (20_000_000, 1.00),
+)
+
+#: Facebook (Hadoop-style) CDF: dominated by tiny flows, heavy tail.
+FACEBOOK_CDF: Sequence[Tuple[int, float]] = (
+    (300, 0.20),
+    (1_000, 0.45),
+    (2_000, 0.60),
+    (10_000, 0.75),
+    (100_000, 0.85),
+    (1_000_000, 0.95),
+    (10_000_000, 1.00),
+)
+
+TRACES = {"websearch": WEBSEARCH_CDF, "facebook": FACEBOOK_CDF}
+
+
+def sample_flow_size(cdf: Sequence[Tuple[int, float]],
+                     rng: random.Random) -> int:
+    """Inverse-transform sample with log-linear interpolation between
+    CDF knots (flow sizes span decades, so interpolate in log space)."""
+    u = rng.random()
+    prev_size, prev_p = 1, 0.0
+    for size, p in cdf:
+        if u <= p:
+            if p == prev_p:
+                return size
+            frac = (u - prev_p) / (p - prev_p)
+            log_size = (math.log(prev_size)
+                        + frac * (math.log(size) - math.log(prev_size)))
+            return max(1, int(round(math.exp(log_size))))
+        prev_size, prev_p = size, p
+    return cdf[-1][0]
+
+
+def mean_flow_size(cdf: Sequence[Tuple[int, float]]) -> float:
+    """Mean of the interpolated distribution (log-linear segments),
+    estimated by fine numeric integration of the inverse CDF."""
+    steps = 10_000
+    total = 0.0
+    prev_size, prev_p = 1, 0.0
+    knots = [(1, 0.0)] + list(cdf)
+    for (s0, p0), (s1, p1) in zip(knots, knots[1:]):
+        if p1 == p0:
+            continue
+        n = max(1, int(steps * (p1 - p0)))
+        for i in range(n):
+            frac = (i + 0.5) / n
+            total += math.exp(math.log(s0)
+                              + frac * (math.log(s1) - math.log(s0))) \
+                * (p1 - p0) / n
+        prev_size, prev_p = s1, p1
+    return total
+
+
+@dataclass
+class TraceFlow:
+    """One sampled flow: (src, dst, size_bytes, start_us)."""
+
+    src: int
+    dst: int
+    size_bytes: int
+    start_us: float
+
+
+def generate_trace_flows(
+    *,
+    n_hosts: int,
+    load: float,
+    duration_us: float,
+    host_gbps: float,
+    trace: str = "websearch",
+    seed: int = 0,
+) -> List[TraceFlow]:
+    """Poisson arrivals at ``load`` (fraction of host line rate).
+
+    Every host sends flows whose sizes follow the trace CDF to uniformly
+    random other hosts; inter-arrival times are exponential with rate
+    ``load * line_rate / mean_flow_size`` per host (Sec. 4.2: "For each
+    node we select randomly the receiver").
+    """
+    if not 0 < load <= 1.5:
+        raise ValueError("load must be in (0, 1.5]")
+    cdf = TRACES[trace]
+    rng = random.Random(seed)
+    mean_size = mean_flow_size(cdf)
+    bytes_per_us = host_gbps * 1000 / 8
+    rate_per_us = load * bytes_per_us / mean_size  # flows per us per host
+    flows: List[TraceFlow] = []
+    for src in range(n_hosts):
+        t = 0.0
+        while True:
+            t += rng.expovariate(rate_per_us)
+            if t >= duration_us:
+                break
+            dst = rng.randrange(n_hosts - 1)
+            if dst >= src:
+                dst += 1
+            flows.append(TraceFlow(src, dst,
+                                   sample_flow_size(cdf, rng), t))
+    flows.sort(key=lambda f: f.start_us)
+    return flows
+
+
+def empirical_cdf(sizes: Sequence[int]) -> List[Tuple[int, float]]:
+    """Empirical CDF points of sampled sizes (for the Fig. 24 bench)."""
+    if not sizes:
+        return []
+    ordered = sorted(sizes)
+    n = len(ordered)
+    return [(s, (i + 1) / n) for i, s in enumerate(ordered)]

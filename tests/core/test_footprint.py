@@ -1,0 +1,63 @@
+"""Table 1: per-connection memory footprint."""
+
+from __future__ import annotations
+
+from repro.core.footprint import compute_footprint
+from repro.core.reps import RepsConfig
+
+
+class TestPaperNumbers:
+    def test_default_config_is_193_bits(self):
+        """Table 1: 8-element buffer totals 193 bits ~= 25 bytes."""
+        fp = compute_footprint(RepsConfig())
+        assert fp.total_bits == 193
+        assert fp.total_bytes == 25
+
+    def test_single_element_is_74_bits(self):
+        """Table 1: 1-element buffer totals 74 bits ~= 10 bytes."""
+        fp = compute_footprint(RepsConfig(buffer_size=1))
+        assert fp.total_bits == 74
+        assert fp.total_bytes == 10
+
+    def test_global_bits_match_table(self):
+        fp = compute_footprint(RepsConfig())
+        assert fp.global_bits == {
+            "head": 8,
+            "numberOfValidEVs": 8,
+            "exitFreezingMode": 32,
+            "isFreezingMode": 1,
+            "exploreCounter": 8,
+        }
+
+    def test_ev_width_is_16_bits_for_64k(self):
+        fp = compute_footprint(RepsConfig(evs_size=65536))
+        assert fp.ev_bits == 16
+
+
+class TestScaling:
+    def test_small_evs_saves_a_byte_per_element(self):
+        """Sec. 3.3: a 256-value EVS shrinks each cached EV to 8 bits."""
+        fp = compute_footprint(RepsConfig(evs_size=256))
+        assert fp.ev_bits == 8
+        assert fp.total_bits == 8 * (8 + 1) + 57
+
+    def test_reuse_variant_widens_validity(self):
+        fp = compute_footprint(RepsConfig(ev_lifespan=3))
+        assert fp.validity_bits == 2
+
+    def test_total_grows_linearly_with_buffer(self):
+        f4 = compute_footprint(RepsConfig(buffer_size=4))
+        f8 = compute_footprint(RepsConfig(buffer_size=8))
+        assert f8.total_bits - f4.total_bits == 4 * 17
+
+    def test_rows_renderable(self):
+        rows = compute_footprint(RepsConfig()).rows()
+        assert rows[-1][1] == 193
+        assert any("cachedEV" in r[0] for r in rows)
+
+    def test_always_under_32_bytes_for_paper_configs(self):
+        """The headline claim: <25B regardless of topology size (the
+        footprint has no topology-dependent field at all)."""
+        for evs in (16, 256, 65536):
+            fp = compute_footprint(RepsConfig(evs_size=evs))
+            assert fp.total_bytes <= 25

@@ -1,0 +1,103 @@
+"""Property-based tests of REPS invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reps import RepsConfig, RepsSender
+
+# an operation is (kind, payload):
+#   ("ack", ev, ecn) | ("send",) | ("fail",) | ("tick",)
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("ack"), st.integers(0, 255), st.booleans()),
+        st.tuples(st.just("send")),
+        st.tuples(st.just("fail")),
+        st.tuples(st.just("tick")),
+    ),
+    max_size=200,
+)
+
+
+def _drive(sender: RepsSender, ops) -> None:
+    now = 0
+    for op in ops:
+        now += 1_000_000  # 1 us per step
+        if op[0] == "ack":
+            sender.on_ack(ev=op[1], ecn=op[2], now=now)
+        elif op[0] == "send":
+            sender.next_entropy(now)
+        elif op[0] == "fail":
+            sender.on_failure_detection(now)
+        # "tick" advances time only
+
+
+@given(ops=_ops, buffer_size=st.integers(1, 16))
+@settings(max_examples=150, deadline=None)
+def test_valid_count_always_matches_buffer(ops, buffer_size):
+    """numberOfValidEVs == number of slots with uses_left > 0, always."""
+    s = RepsSender(RepsConfig(buffer_size=buffer_size, evs_size=256),
+                   rng=random.Random(0))
+    now = 0
+    for op in ops:
+        now += 1_000_000
+        if op[0] == "ack":
+            s.on_ack(ev=op[1], ecn=op[2], now=now)
+        elif op[0] == "send":
+            s.next_entropy(now)
+        elif op[0] == "fail":
+            s.on_failure_detection(now)
+        valid_slots = sum(1 for _, uses in s.buffer_snapshot if uses > 0)
+        assert valid_slots == s.valid_evs
+        assert 0 <= s.valid_evs <= buffer_size
+
+
+@given(ops=_ops)
+@settings(max_examples=100, deadline=None)
+def test_entropy_always_in_evs(ops):
+    """Every EV handed to the wire is within the configured EVS."""
+    s = RepsSender(RepsConfig(evs_size=64), rng=random.Random(1))
+    now = 0
+    for op in ops:
+        now += 1_000_000
+        if op[0] == "ack":
+            s.on_ack(ev=op[1] % 64, ecn=op[2], now=now)
+        elif op[0] == "fail":
+            s.on_failure_detection(now)
+        ev = s.next_entropy(now)
+        assert 0 <= ev < 64
+
+
+@given(evs=st.lists(st.integers(0, 1000), min_size=1, max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_burst_of_acks_all_cached_fifo(evs):
+    """Up to buffer-size good ACKs in a burst are all reusable, oldest
+    first — the circular buffer's core guarantee (Sec. 3.1)."""
+    s = RepsSender(RepsConfig(buffer_size=8, evs_size=1001),
+                   rng=random.Random(2))
+    for ev in evs:
+        s.on_ack(ev=ev, ecn=False, now=0)
+    got = [s.next_entropy(0) for _ in range(len(evs))]
+    assert got == evs
+
+
+@given(ops=_ops)
+@settings(max_examples=100, deadline=None)
+def test_never_crashes_and_head_in_range(ops):
+    s = RepsSender(RepsConfig(buffer_size=8, evs_size=256),
+                   rng=random.Random(3))
+    _drive(s, ops)
+    assert 0 <= s._head < 8  # noqa: SLF001 - deliberate white-box check
+
+
+@given(ecn_evs=st.lists(st.integers(0, 255), min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_ecn_marked_acks_never_enter_buffer(ecn_evs):
+    s = RepsSender(RepsConfig(evs_size=256), rng=random.Random(4))
+    for ev in ecn_evs:
+        s.on_ack(ev=ev, ecn=True, now=0)
+    assert s.valid_evs == 0
+    assert all(uses == 0 for _, uses in s.buffer_snapshot)

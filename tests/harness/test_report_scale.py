@@ -1,0 +1,70 @@
+"""Reporting helpers and scale control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.report import (
+    cdf_points,
+    format_table,
+    shape_note,
+    speedups,
+)
+from repro.harness.scale import FULL, QUICK, current_scale
+
+
+class TestReport:
+    def test_table_alignment(self):
+        out = format_table("T", ["a", "bb"], [[1, 2.5], ["xx", 0.001]])
+        lines = out.splitlines()
+        assert lines[0] == "== T =="
+        assert len({len(line) for line in lines[1:]}) <= 2
+
+    def test_speedups(self):
+        s = speedups(100.0, {"a": 50.0, "b": 200.0})
+        assert s["a"] == 2.0
+        assert s["b"] == 0.5
+
+    def test_speedup_zero_value(self):
+        assert speedups(10.0, {"x": 0.0})["x"] == float("inf")
+
+    def test_shape_note(self):
+        assert shape_note("claim", True).startswith("[OK ]")
+        assert "DIVERGES" in shape_note("claim", False)
+
+    def test_cdf_points(self):
+        pts = cdf_points(list(range(100)), n_points=5)
+        assert pts[-1][1] == 1.0
+        vals = [v for v, _ in pts]
+        assert vals == sorted(vals)
+
+    def test_cdf_empty(self):
+        assert cdf_points([]) == []
+
+    def test_inf_formatting(self):
+        out = format_table("T", ["x"], [[float("inf")]])
+        assert "inf" in out
+
+
+class TestScale:
+    def test_default_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert current_scale() is QUICK
+
+    def test_full_selectable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert current_scale() is FULL
+
+    def test_invalid_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "huge")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_msg_scaling_floors(self):
+        assert QUICK.msg_bytes(0.001) == 128 * 1024
+        assert FULL.msg_bytes(8) == 8 << 20
+
+    def test_topo_overrides(self):
+        t = QUICK.topo(tiers=2, oversubscription=2)
+        assert t.n_hosts == QUICK.n_hosts
+        assert t.oversubscription == 2

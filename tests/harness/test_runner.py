@@ -1,0 +1,140 @@
+"""Harness: scenarios, failure hooks, matrix running."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import (
+    Scenario,
+    ber_hook,
+    degrade_cables_hook,
+    degrade_fraction_hook,
+    fail_cables_hook,
+    fail_fraction_hook,
+    run_collective,
+    run_lb_matrix,
+    run_mixed_traffic,
+    run_synthetic,
+    run_trace,
+)
+from repro.sim.topology import TopologyParams
+
+
+def topo(**kw) -> TopologyParams:
+    kw.setdefault("n_hosts", 8)
+    kw.setdefault("hosts_per_t0", 4)
+    return TopologyParams(**kw)
+
+
+def scenario(lb="reps", **kw) -> Scenario:
+    kw.setdefault("topo", topo())
+    kw.setdefault("max_us", 20_000.0)
+    return Scenario(lb=lb, **kw)
+
+
+class TestSynthetic:
+    @pytest.mark.parametrize("pattern", ["incast", "permutation", "tornado"])
+    def test_patterns_run_to_completion(self, pattern):
+        res = run_synthetic(scenario(), pattern, 64 * 1024, fan_in=4)
+        m = res.metrics
+        assert m.flows_completed == m.flows_total > 0
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            run_synthetic(scenario(), "gather", 1024)
+
+    def test_telemetry_recorder_attached(self):
+        s = scenario(telemetry_bucket_us=5.0)
+        res = run_synthetic(s, "tornado", 256 * 1024)
+        assert res.recorder is not None
+        assert len(res.recorder.times_us) > 0
+
+
+class TestTrace:
+    def test_trace_run(self):
+        res = run_trace(scenario(max_us=5_000.0), load=0.5,
+                        duration_us=50.0)
+        assert res.metrics.flows_total > 0
+        assert res.metrics.flows_completed > 0
+
+
+class TestCollective:
+    @pytest.mark.parametrize("kind", ["ring_allreduce",
+                                      "butterfly_allreduce", "alltoall"])
+    def test_collectives_finish(self, kind):
+        res = run_collective(scenario(max_us=100_000.0), kind, 512 * 1024,
+                             n_parallel=4)
+        assert res.collective.done
+
+    def test_unknown_collective(self):
+        with pytest.raises(ValueError):
+            run_collective(scenario(), "gossip", 1024)
+
+
+class TestMixedTraffic:
+    def test_main_and_background_metrics_split(self):
+        main, bg = run_mixed_traffic(
+            scenario(), "permutation", 128 * 1024,
+            background_fraction=0.25)
+        assert main.flows_total == 6
+        assert bg.flows_total == 2
+        assert main.flows_completed == 6
+
+
+class TestFailureHooks:
+    def test_fail_cables_hook(self):
+        s = scenario(failures=fail_cables_hook([0], at_us=1.0))
+        net = s.network()
+        net.engine.run(until_ps=2_000_000)
+        assert net.tree.t0_uplink_cables()[0].down
+
+    def test_fail_fraction_cables(self):
+        s = scenario(failures=fail_fraction_hook(0.5, at_us=0.0))
+        net = s.network()
+        net.engine.run(until_ps=1_000_000)
+        down = sum(c.down for c in net.tree.t0_uplink_cables())
+        assert down == len(net.tree.t0_uplink_cables()) // 2
+
+    def test_fail_fraction_switches_keeps_one(self):
+        s = scenario(failures=fail_fraction_hook(1.0, at_us=0.0,
+                                                 what="switches"))
+        net = s.network()
+        net.engine.run(until_ps=1_000_000)
+        # never fails every T1: the workload must stay completable
+        alive = [t1 for t1 in net.tree.t1s
+                 if not all(c.down for c in net.tree.cables_of_switch(t1))]
+        assert alive
+
+    def test_degrade_hooks(self):
+        s = scenario(failures=degrade_cables_hook([0], 200.0))
+        net = s.network()
+        assert net.tree.t0_uplink_cables()[0].a_port.rate_gbps == 200.0
+        s2 = scenario(failures=degrade_fraction_hook(0.25, 200.0))
+        net2 = s2.network()
+        slow = [c for c in net2.tree.t0_uplink_cables()
+                if c.a_port.rate_gbps == 200.0]
+        assert len(slow) == 2  # 25% of 8 uplink cables
+
+    def test_ber_hook(self):
+        s = scenario(failures=ber_hook(0.01))
+        net = s.network()
+        assert any(c.ber == 0.01 for c in net.tree.t0_uplink_cables())
+
+    def test_failed_run_still_completes(self):
+        s = scenario(lb="reps",
+                     failures=fail_cables_hook([0], at_us=5.0,
+                                               duration_us=50.0))
+        res = run_synthetic(s, "permutation", 256 * 1024)
+        assert res.metrics.flows_completed == res.metrics.flows_total
+
+
+class TestMatrix:
+    def test_matrix_runs_each_lb(self):
+        results = run_lb_matrix(
+            ["ops", "reps"],
+            lambda lb: scenario(lb=lb),
+            lambda s: run_synthetic(s, "tornado", 128 * 1024),
+        )
+        assert set(results) == {"ops", "reps"}
+        for res in results.values():
+            assert res.metrics.flows_completed > 0

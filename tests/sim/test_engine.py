@@ -1,0 +1,144 @@
+"""Event engine and timer semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine, Timer
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, engine):
+        order = []
+        engine.at(30, order.append, "c")
+        engine.at(10, order.append, "a")
+        engine.at(20, order.append, "b")
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self, engine):
+        order = []
+        for tag in "abc":
+            engine.at(5, order.append, tag)
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self, engine):
+        seen = []
+        engine.at(42, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [42]
+        assert engine.now == 42
+
+    def test_after_is_relative(self, engine):
+        seen = []
+        engine.at(10, lambda: engine.after(5, lambda: seen.append(engine.now)))
+        engine.run()
+        assert seen == [15]
+
+    def test_cannot_schedule_in_past(self, engine):
+        engine.at(10, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.at(5, lambda: None)
+
+    def test_run_until_stops_clock_at_bound(self, engine):
+        engine.at(100, lambda: None)
+        engine.run(until_ps=50)
+        assert engine.now == 50
+        assert engine.pending() == 1
+
+    def test_stop_breaks_loop(self, engine):
+        fired = []
+
+        def first():
+            fired.append(1)
+            engine.stop()
+
+        engine.at(1, first)
+        engine.at(2, fired.append, 2)
+        engine.run()
+        assert fired == [1]
+        assert engine.pending() == 1
+
+    def test_max_events_bound(self, engine):
+        for i in range(10):
+            engine.at(i + 1, lambda: None)
+        assert engine.run(max_events=3) == 3
+        assert engine.pending() == 7
+
+    def test_events_executed_accumulates(self, engine):
+        engine.at(1, lambda: None)
+        engine.at(2, lambda: None)
+        engine.run()
+        assert engine.events_executed == 2
+
+    def test_nested_scheduling_during_run(self, engine):
+        seen = []
+
+        def chain(depth):
+            seen.append(depth)
+            if depth < 5:
+                engine.after(1, chain, depth + 1)
+
+        engine.at(0, chain, 0)
+        engine.run()
+        assert seen == [0, 1, 2, 3, 4, 5]
+
+    @given(delays=st.lists(st.integers(0, 10**9), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_property_monotone_execution(self, delays):
+        eng = Engine()
+        fired = []
+        for d in delays:
+            eng.at(d, lambda d=d: fired.append(eng.now))
+        eng.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+
+class TestTimer:
+    def test_fires_once(self, engine):
+        hits = []
+        t = Timer(engine, lambda: hits.append(engine.now))
+        t.arm_at(10)
+        engine.run()
+        assert hits == [10]
+        assert not t.armed
+
+    def test_cancel_suppresses(self, engine):
+        hits = []
+        t = Timer(engine, lambda: hits.append(1))
+        t.arm_at(10)
+        t.cancel()
+        engine.run()
+        assert hits == []
+
+    def test_rearm_replaces_deadline(self, engine):
+        hits = []
+        t = Timer(engine, lambda: hits.append(engine.now))
+        t.arm_at(10)
+        t.arm_at(20)
+        engine.run()
+        assert hits == [20]
+
+    def test_rearm_from_callback(self, engine):
+        hits = []
+
+        def fire():
+            hits.append(engine.now)
+            if len(hits) < 3:
+                t.arm_after(5)
+
+        t = Timer(engine, fire)
+        t.arm_at(5)
+        engine.run()
+        assert hits == [5, 10, 15]
+
+    def test_deadline_visible(self, engine):
+        t = Timer(engine, lambda: None)
+        t.arm_at(33)
+        assert t.deadline == 33
+        assert t.armed

@@ -1,0 +1,147 @@
+"""Appendix-A loss discrimination: RTT heuristic + transport wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.loss_discrimination import RttLossClassifier
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.topology import TopologyParams
+
+US = 1_000_000
+BASE = 8 * US
+
+
+def clf(**kw) -> RttLossClassifier:
+    return RttLossClassifier(BASE, **kw)
+
+
+class TestClassifier:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            RttLossClassifier(0)
+        with pytest.raises(ValueError):
+            RttLossClassifier(BASE, congested_factor=1.0)
+
+    def test_low_rtt_before_timeout_is_failure(self):
+        """Short queues + sudden loss = the path died (Appendix A)."""
+        c = clf()
+        for i in range(5):
+            c.observe(now=i * US, rtt_ps=BASE + US)  # near-base RTTs
+        assert c.classify_timeout(now=5 * US) == "failure"
+
+    def test_high_rtt_before_timeout_is_congestion(self):
+        c = clf()
+        c.observe(now=0, rtt_ps=3 * BASE)  # deep queues observed
+        assert c.classify_timeout(now=US) == "congestion"
+
+    def test_no_samples_reads_as_failure(self):
+        assert clf().classify_timeout(now=0) == "failure"
+
+    def test_window_expires_old_samples(self):
+        c = clf(window_ps=10 * US)
+        c.observe(now=0, rtt_ps=5 * BASE)
+        assert c.classify_timeout(now=US) == "congestion"
+        assert c.classify_timeout(now=20 * US) == "failure"
+        assert c.sample_count == 0
+
+    def test_recent_max_tracks_maximum(self):
+        c = clf()
+        c.observe(now=0, rtt_ps=BASE)
+        c.observe(now=1, rtt_ps=3 * BASE)
+        c.observe(now=2, rtt_ps=2 * BASE)
+        assert c.recent_max_rtt(now=3) == 3 * BASE
+
+    def test_threshold_factor_respected(self):
+        tight = clf(congested_factor=1.2)
+        tight.observe(now=0, rtt_ps=int(1.3 * BASE))
+        assert tight.classify_timeout(now=1) == "congestion"
+        loose = clf(congested_factor=4.0)
+        loose.observe(now=0, rtt_ps=int(1.3 * BASE))
+        assert loose.classify_timeout(now=1) == "failure"
+
+
+class TestTransportIntegration:
+    def _incast_net(self, **cfg_kw) -> Network:
+        """8:1 incast on the default (1-BDP) queues: the receiver's
+        downlink overflows, so drops happen with RTTs inflated by a full
+        queue — the congestion signature the heuristic keys on."""
+        topo = TopologyParams(n_hosts=16, hosts_per_t0=8)
+        net = Network(NetworkConfig(topo=topo, lb="reps", seed=3,
+                                    **cfg_kw))
+        for src in range(8, 16):
+            net.add_flow(src, 0, 2 << 20)
+        return net
+
+    def test_congestion_timeouts_do_not_freeze(self):
+        net = self._incast_net(rtt_loss_discrimination=True)
+        m = net.run(max_us=500_000)
+        assert m.flows_completed == 8
+        freezes = sum(r.sender.lb.stats_freeze_entries
+                      for r in net.flows.values())
+        timeouts = sum(r.sender.stats.timeouts
+                       for r in net.flows.values())
+        assert timeouts > 0, "scenario must actually drop packets"
+        assert freezes == 0
+
+    def test_without_heuristic_same_drops_do_freeze(self):
+        """Control: identical incast without discrimination freezes
+        (harmless per Appendix A, but the contrast proves the wiring)."""
+        net = self._incast_net(rtt_loss_discrimination=False)
+        net.run(max_us=500_000)
+        freezes = sum(r.sender.lb.stats_freeze_entries
+                      for r in net.flows.values())
+        assert freezes > 0
+
+    def test_link_failure_still_freezes(self):
+        """A real cable failure shows low RTTs before the loss, so the
+        heuristic still reports it and REPS freezes."""
+        topo = TopologyParams(n_hosts=8, hosts_per_t0=4)
+        net = Network(NetworkConfig(topo=topo, lb="reps", seed=3,
+                                    rtt_loss_discrimination=True))
+        net.failures.fail_cable(net.tree.t0_uplink_cables()[0],
+                                at_ps=30 * US, duration_ps=300 * US)
+        for src in range(4):
+            net.add_flow(src, 4 + src, 2 << 20)
+        m = net.run(max_us=2_000_000)
+        assert m.flows_completed == 4
+        freezes = sum(r.sender.lb.stats_freeze_entries
+                      for r in net.flows.values())
+        assert freezes > 0
+
+
+class TestDelaySignal:
+    def test_delay_based_reps_completes_and_adapts(self):
+        """Sec. 4.5.3: REPS driven by delay instead of ECN still routes
+        around a degraded link."""
+        topo = TopologyParams(n_hosts=8, hosts_per_t0=4)
+
+        def run(delay_factor):
+            net = Network(NetworkConfig(
+                topo=topo, lb="reps", seed=3,
+                delay_signal_factor=delay_factor))
+            net.failures.degrade_cable(net.tree.t0_uplink_cables()[0],
+                                       100.0)
+            for src in range(4):
+                net.add_flow(src, 4 + src, 2 << 20)
+            return net.run(max_us=1_000_000)
+
+        m = run(1.5)
+        assert m.flows_completed == 4
+
+    def test_delay_signal_behaves_like_ecn_shape(self):
+        """Delay-REPS beats OPS on the same degraded fabric."""
+        topo = TopologyParams(n_hosts=8, hosts_per_t0=4)
+
+        def run(lb, factor=None):
+            net = Network(NetworkConfig(
+                topo=topo, lb=lb, seed=3, delay_signal_factor=factor))
+            net.failures.degrade_cable(net.tree.t0_uplink_cables()[0],
+                                       100.0)
+            for src in range(4):
+                net.add_flow(src, 4 + src, 2 << 20)
+            return net.run(max_us=1_000_000)
+
+        delay_reps = run("reps", factor=1.5)
+        ops = run("ops")
+        assert delay_reps.max_fct_us < ops.max_fct_us

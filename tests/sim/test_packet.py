@@ -1,0 +1,73 @@
+"""Packet construction, ACK/NACK echoing, trimming."""
+
+from __future__ import annotations
+
+from repro.sim.packet import (
+    CONTROL_PACKET_BYTES,
+    Packet,
+    make_ack,
+    make_nack,
+)
+
+
+def data_pkt(**kw) -> Packet:
+    defaults = dict(src=1, dst=2, flow_id=3, seq=4, size=4096, ev=55)
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+class TestPacket:
+    def test_data_packet_defaults(self):
+        p = data_pkt()
+        assert not p.is_ack and not p.is_nack and not p.trimmed
+        assert not p.ecn
+        assert not p.is_control
+
+    def test_trim_truncates_to_header(self):
+        p = data_pkt()
+        p.trim()
+        assert p.trimmed
+        assert p.size == CONTROL_PACKET_BYTES
+        assert p.is_control
+
+    def test_control_priority_kinds(self):
+        assert make_ack(data_pkt()).is_control
+        assert make_nack(data_pkt()).is_control
+
+
+class TestAck:
+    def test_ack_reverses_direction(self):
+        ack = make_ack(data_pkt(src=7, dst=9))
+        assert (ack.src, ack.dst) == (9, 7)
+
+    def test_ack_echoes_ev(self):
+        """Sec. 3.1: the ACK reuses the data packet's EV for its header."""
+        ack = make_ack(data_pkt(ev=1234))
+        assert ack.ev == 1234
+
+    def test_ack_echoes_ecn(self):
+        p = data_pkt()
+        p.ecn = True
+        assert make_ack(p).ecn is True
+        p2 = data_pkt()
+        assert make_ack(p2).ecn is False
+
+    def test_ack_is_64_bytes(self):
+        assert make_ack(data_pkt()).size == CONTROL_PACKET_BYTES
+
+    def test_coalesced_ack_carries_seqs_and_echoes(self):
+        ack = make_ack(data_pkt(), acked_seqs=[1, 2, 3],
+                       ev_echoes=[(5, False), (6, True)])
+        assert ack.acked_seqs == [1, 2, 3]
+        assert ack.ev_echoes == [(5, False), (6, True)]
+
+
+class TestNack:
+    def test_nack_reverses_and_echoes(self):
+        p = data_pkt(src=3, dst=8, ev=77, seq=21)
+        p.trim()
+        nack = make_nack(p)
+        assert (nack.src, nack.dst) == (8, 3)
+        assert nack.ev == 77
+        assert nack.seq == 21
+        assert nack.is_nack and not nack.is_ack

@@ -1,0 +1,237 @@
+"""Egress port: queueing, ECN marking, drops, trimming, priority."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.link import Cable
+from repro.sim.packet import CONTROL_PACKET_BYTES, Packet, make_ack
+from repro.sim.port import EgressPort
+from repro.sim.switch import Node
+from repro.sim.units import NS, tx_time_ps
+
+
+class Sink(Node):
+    """Terminates a wire and records arrivals."""
+
+    def __init__(self) -> None:
+        self.received = []
+
+    def receive(self, pkt) -> None:
+        self.received.append(pkt)
+
+
+def make_port(engine, *, rate=400.0, capacity=64 * 1024,
+              kmin=None, kmax=None, trim=False, ecn=True,
+              latency_ns=500, seed=1):
+    port = EgressPort(
+        engine, "p", rate_gbps=rate, latency_ps=latency_ns * NS,
+        capacity_bytes=capacity,
+        kmin_bytes=kmin if kmin is not None else capacity // 5,
+        kmax_bytes=kmax if kmax is not None else capacity * 4 // 5,
+        rng=random.Random(seed), ecn_enabled=ecn, trim_enabled=trim,
+    )
+    sink = Sink()
+    port.peer = sink
+    cable = Cable("c")
+    cable.attach(port, EgressPort(
+        engine, "rev", rate_gbps=rate, latency_ps=latency_ns * NS,
+        capacity_bytes=capacity, kmin_bytes=1, kmax_bytes=2,
+        rng=random.Random(seed)))
+    return port, sink, cable
+
+
+def dpkt(seq=0, size=4096, ev=1):
+    return Packet(src=0, dst=1, flow_id=0, seq=seq, size=size, ev=ev)
+
+
+class TestTransmission:
+    def test_single_packet_delivered_after_tx_plus_latency(self, engine):
+        port, sink, _ = make_port(engine)
+        port.enqueue(dpkt(size=4096))
+        engine.run()
+        assert len(sink.received) == 1
+        # 4096 B at 400 Gbps = 81.92 ns, + 500 ns wire
+        assert engine.now == tx_time_ps(4096, 400) + 500 * NS
+
+    def test_fifo_order(self, engine):
+        port, sink, _ = make_port(engine)
+        for seq in range(5):
+            port.enqueue(dpkt(seq=seq))
+        engine.run()
+        assert [p.seq for p in sink.received] == list(range(5))
+
+    def test_serialization_spacing(self, engine):
+        """Back-to-back packets are spaced by their serialization time."""
+        port, sink, _ = make_port(engine)
+        arrivals = []
+        sink.receive = lambda p: arrivals.append(engine.now)
+        port.enqueue(dpkt(0))
+        port.enqueue(dpkt(1))
+        engine.run()
+        assert arrivals[1] - arrivals[0] == tx_time_ps(4096, 400)
+
+    def test_rate_change_affects_next_packet(self, engine):
+        port, sink, _ = make_port(engine, rate=400)
+        arrivals = []
+        sink.receive = lambda p: arrivals.append(engine.now)
+        port.enqueue(dpkt(0))
+        port.rate_gbps = 200.0
+        port.enqueue(dpkt(1))
+        engine.run()
+        # second packet serialized at 200G: double the gap
+        assert arrivals[1] - arrivals[0] == tx_time_ps(4096, 200)
+
+    def test_bytes_counted(self, engine):
+        port, _, _ = make_port(engine)
+        port.enqueue(dpkt(size=1000))
+        port.enqueue(dpkt(size=2000))
+        engine.run()
+        assert port.stats.bytes_tx == 3000
+        assert port.stats.pkts_tx == 2
+
+
+class TestDrops:
+    def test_overflow_drops_tail(self, engine):
+        port, sink, _ = make_port(engine, capacity=8192)
+        for seq in range(5):  # 1 in service + 2 queued fit; rest drop
+            port.enqueue(dpkt(seq=seq))
+        engine.run()
+        assert port.stats.drops_overflow == 2
+        assert len(sink.received) == 3
+
+    def test_on_drop_hook_called(self, engine):
+        port, _, _ = make_port(engine, capacity=4096)
+        dropped = []
+        port.on_drop = dropped.append
+        for seq in range(4):
+            port.enqueue(dpkt(seq=seq))
+        engine.run()
+        assert [p.seq for p in dropped] == [2, 3]
+
+    def test_link_down_drops_at_tx(self, engine):
+        port, sink, cable = make_port(engine)
+        cable.fail()
+        port.enqueue(dpkt())
+        engine.run()
+        assert sink.received == []
+        assert port.stats.drops_link_down == 1
+
+    def test_link_down_mid_flight_drops(self, engine):
+        port, sink, cable = make_port(engine, latency_ns=1000)
+        port.enqueue(dpkt())
+        # fail after serialization completes but before delivery
+        engine.at(tx_time_ps(4096, 400) + 1, cable.fail)
+        engine.run()
+        assert sink.received == []
+        assert port.stats.drops_link_down == 1
+
+    def test_recovered_link_delivers(self, engine):
+        port, sink, cable = make_port(engine)
+        cable.fail()
+        cable.recover()
+        port.enqueue(dpkt())
+        engine.run()
+        assert len(sink.received) == 1
+
+    def test_ber_drops_fraction(self, engine):
+        port, sink, cable = make_port(engine, capacity=1 << 30, seed=3)
+        cable.ber = 0.5
+        for seq in range(400):
+            port.enqueue(dpkt(seq=seq, size=64))
+        engine.run()
+        assert 100 < port.stats.drops_ber < 300
+        assert len(sink.received) == 400 - port.stats.drops_ber
+
+
+class TestEcnMarking:
+    def test_no_marking_below_kmin(self, engine):
+        port, sink, _ = make_port(engine, capacity=100 * 4096,
+                                  kmin=20 * 4096, kmax=80 * 4096)
+        for seq in range(10):
+            port.enqueue(dpkt(seq=seq))
+        engine.run()
+        assert port.stats.ecn_marks == 0
+        assert not any(p.ecn for p in sink.received)
+
+    def test_full_marking_above_kmax(self, engine):
+        port, sink, _ = make_port(engine, capacity=100 * 4096,
+                                  kmin=4096, kmax=2 * 4096)
+        for seq in range(20):
+            port.enqueue(dpkt(seq=seq))
+        engine.run()
+        # everything enqueued while occupancy >= kmax must be marked
+        marked = [p for p in sink.received if p.ecn]
+        assert len(marked) >= 17
+
+    def test_linear_region_marks_probabilistically(self, engine):
+        port, sink, _ = make_port(engine, capacity=1 << 30,
+                                  kmin=10 * 4096, kmax=200 * 4096, seed=5)
+        for seq in range(100):
+            port.enqueue(dpkt(seq=seq))
+        engine.run()
+        marked = sum(1 for p in sink.received if p.ecn)
+        assert 0 < marked < 100
+
+    def test_ecn_disabled_never_marks(self, engine):
+        port, sink, _ = make_port(engine, capacity=1 << 30, ecn=False,
+                                  kmin=0, kmax=1)
+        for seq in range(50):
+            port.enqueue(dpkt(seq=seq))
+        engine.run()
+        assert port.stats.ecn_marks == 0
+
+    def test_acks_never_marked(self, engine):
+        """Control packets ride the priority queue and skip marking."""
+        port, sink, _ = make_port(engine, capacity=1 << 30, kmin=0, kmax=1)
+        for _ in range(20):
+            port.enqueue(make_ack(dpkt()))
+        engine.run()
+        assert not any(p.ecn for p in sink.received)
+
+
+class TestTrimming:
+    def test_overflow_trims_instead_of_drops(self, engine):
+        port, sink, _ = make_port(engine, capacity=8192, trim=True)
+        for seq in range(5):
+            port.enqueue(dpkt(seq=seq))
+        engine.run()
+        assert port.stats.drops_overflow == 0
+        assert port.stats.trims == 2
+        trimmed = [p for p in sink.received if p.trimmed]
+        assert len(trimmed) == 2
+        assert all(p.size == CONTROL_PACKET_BYTES for p in trimmed)
+
+    def test_trimmed_packets_get_priority(self, engine):
+        """A trimmed header overtakes the queued data packets (NDP)."""
+        port, sink, _ = make_port(engine, capacity=8192, trim=True)
+        for seq in range(4):
+            port.enqueue(dpkt(seq=seq))
+        engine.run()
+        kinds = [(p.seq, p.trimmed) for p in sink.received]
+        assert kinds[0][0] == 0  # in-service packet finishes first
+        assert kinds[1] == (3, True)  # the trim jumps ahead of seqs 1, 2
+
+
+class TestControlPriority:
+    def test_ack_overtakes_data_backlog(self, engine):
+        port, sink, _ = make_port(engine, capacity=1 << 30)
+        for seq in range(10):
+            port.enqueue(dpkt(seq=seq))
+        ack = make_ack(dpkt(seq=99))
+        port.enqueue(ack)
+        engine.run()
+        order = [(p.is_ack, p.seq) for p in sink.received]
+        # ack transmitted right after the in-service data packet
+        assert order[1] == (True, 99)
+
+    def test_queue_bytes_excludes_control(self, engine):
+        port, _, _ = make_port(engine, capacity=1 << 30)
+        port.enqueue(dpkt(0))  # enters service
+        port.enqueue(dpkt(1))  # waits
+        port.enqueue(make_ack(dpkt(2)))
+        assert port.queue_bytes == 4096
+        assert port.total_queue_bytes == 4096 + CONTROL_PACKET_BYTES

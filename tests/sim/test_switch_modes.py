@@ -1,0 +1,106 @@
+"""WCMP and source-routing switch modes (Secs. 3.3 and 4.3.2)."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro.sim.engine import Engine
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.topology import TopologyParams
+
+from .test_switch import make_switch, pkt
+
+
+class TestSourceMode:
+    def test_ev_is_path_id(self, engine):
+        sw, ports = make_switch(engine, mode="source", n_up=8)
+        for ev in range(32):
+            assert sw.route(pkt(ev=ev)) is ports[ev % 8]
+
+    def test_reps_source_network_runs(self):
+        """REPS over source routing: EVs are path ids, no hashing."""
+        topo = TopologyParams(n_hosts=8, hosts_per_t0=4)
+        net = Network(NetworkConfig(topo=topo, lb="reps_source", seed=3,
+                                    evs_size=64))
+        assert all(sw.mode == "source"
+                   for sw in net.tree.all_switches())
+        for src in range(4):
+            net.add_flow(src, 4 + src, 1 << 20)
+        m = net.run(max_us=200_000)
+        assert m.flows_completed == 4
+
+    def test_reps_source_avoids_failed_path(self):
+        topo = TopologyParams(n_hosts=8, hosts_per_t0=4)
+        net = Network(NetworkConfig(topo=topo, lb="reps_source", seed=3,
+                                    evs_size=64))
+        net.failures.fail_cable(net.tree.t0_uplink_cables()[0],
+                                at_ps=30_000_000, duration_ps=300_000_000)
+        for src in range(4):
+            net.add_flow(src, 4 + src, 2 << 20)
+        m = net.run(max_us=2_000_000)
+        assert m.flows_completed == 4
+
+        # an OPS run over the same source-routed fabric drops more
+        net2 = Network(NetworkConfig(topo=topo, lb="ops", seed=3,
+                                     evs_size=64))
+        for sw in net2.tree.all_switches():
+            sw.mode = "source"
+        net2.failures.fail_cable(net2.tree.t0_uplink_cables()[0],
+                                 at_ps=30_000_000,
+                                 duration_ps=300_000_000)
+        for src in range(4):
+            net2.add_flow(src, 4 + src, 2 << 20)
+        m2 = net2.run(max_us=2_000_000)
+        assert m.total_drops <= m2.total_drops
+
+
+class TestWcmpMode:
+    def test_uniform_when_rates_equal(self, engine):
+        sw, ports = make_switch(engine, mode="wcmp", n_up=4)
+        counts = Counter(sw.route(pkt(ev=ev)).name for ev in range(4096))
+        expect = 4096 / 4
+        for c in counts.values():
+            assert abs(c - expect) / expect < 0.2
+
+    def test_degraded_port_draws_proportionally_less(self, engine):
+        sw, ports = make_switch(engine, mode="wcmp", n_up=4)
+        ports[0].rate_gbps = 200.0  # half the rate of the others
+        counts = Counter(sw.route(pkt(ev=ev)).name for ev in range(7000))
+        slow = counts[ports[0].name]
+        fast_avg = sum(counts[p.name] for p in ports[1:]) / 3
+        assert slow < 0.75 * fast_avg
+
+    def test_static_per_flow_assignment(self, engine):
+        sw, ports = make_switch(engine, mode="wcmp")
+        picks = {sw.route(pkt(ev=7)).name for _ in range(10)}
+        assert len(picks) == 1
+
+    def test_wcmp_skews_bytes_off_degraded_uplink(self):
+        """WCMP's weighted groups absorb a *known* asymmetry: the slow
+        uplink carries a proportionally smaller byte share than under
+        plain ECMP (Sec. 4.3.2's note; the max-FCT comparison would be
+        hash-luck-dominated at this flow count)."""
+        topo = TopologyParams(n_hosts=16, hosts_per_t0=8)
+
+        def slow_share(lb):
+            net = Network(NetworkConfig(topo=topo, lb=lb, seed=5))
+            slow_cable = net.tree.t0_uplink_cables()[0]
+            net.failures.degrade_cable(slow_cable, 100.0)
+            from repro.workloads import permutation
+            for src, dst in permutation(16, seed=2, cross_tor_only=True,
+                                        hosts_per_t0=8):
+                net.add_flow(src, dst, 1 << 20)
+            m = net.run(max_us=1_000_000)
+            assert m.flows_completed == m.flows_total
+            t0 = net.tree.t0s[0]
+            total = sum(p.stats.bytes_tx for p in t0.up_ports) or 1
+            return t0.up_ports[0].stats.bytes_tx / total
+
+        # 100G among 7x400G: WCMP weight 1/29 ~ 3%; per-packet uniform
+        # spraying (OPS) puts ~1/8 there.  (Plain ECMP's 8 static flows
+        # are too lumpy a sample to compare shares against.)
+        wcmp, ops = slow_share("wcmp"), slow_share("ops")
+        assert wcmp < 0.08
+        assert ops > 0.085
+        assert wcmp < ops

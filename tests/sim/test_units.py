@@ -1,0 +1,56 @@
+"""Time/bandwidth unit conversions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.units import (
+    MS,
+    NS,
+    US,
+    gbps_to_bytes_per_us,
+    ps_to_us,
+    tx_time_ps,
+    us_to_ps,
+)
+
+
+class TestTxTime:
+    def test_400g_is_20ps_per_byte(self):
+        assert tx_time_ps(1, 400) == 20
+        assert tx_time_ps(4096, 400) == 81_920
+
+    def test_100g_is_80ps_per_byte(self):
+        assert tx_time_ps(8192, 100) == 655_360
+
+    def test_200g_double_of_400g(self):
+        assert tx_time_ps(4096, 200) == 2 * tx_time_ps(4096, 400)
+
+    def test_rounds_up_never_zero(self):
+        assert tx_time_ps(1, 1000) >= 1
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            tx_time_ps(100, 0)
+
+    @given(size=st.integers(1, 1 << 20), gbps=st.sampled_from(
+        [10, 25, 40, 100, 200, 400, 800]))
+    def test_property_positive_and_monotone(self, size, gbps):
+        t = tx_time_ps(size, gbps)
+        assert t >= 1
+        assert tx_time_ps(size + 1, gbps) >= t
+
+
+class TestConversions:
+    def test_constants_consistent(self):
+        assert US == 1000 * NS
+        assert MS == 1000 * US
+
+    def test_us_roundtrip(self):
+        assert ps_to_us(us_to_ps(12.5)) == pytest.approx(12.5)
+
+    def test_gbps_to_bytes_per_us(self):
+        # 400 Gbps = 50 bytes/ns = 50_000 bytes/us
+        assert gbps_to_bytes_per_us(400) == 50_000

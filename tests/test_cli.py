@@ -1,0 +1,89 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestRun:
+    def test_basic_run(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "--lb", "reps", "--hosts", "8",
+            "--hosts-per-t0", "4", "--mib", "0.25", "--seed", "2")
+        assert code == 0
+        assert "reps:" in out
+        assert "flows 8/8" in out
+
+    def test_tornado_pattern(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "--pattern", "tornado", "--hosts", "8",
+            "--hosts-per-t0", "4", "--mib", "0.25")
+        assert code == 0
+
+    def test_incast_pattern(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "--pattern", "incast", "--fan-in", "4",
+            "--hosts", "8", "--hosts-per-t0", "4", "--mib", "0.25")
+        assert code == 0
+
+    def test_failure_injection_flags(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "--lb", "reps", "--hosts", "8",
+            "--hosts-per-t0", "4", "--mib", "0.5",
+            "--fail-uplink", "0", "--fail-at", "10", "--fail-for", "100")
+        assert code == 0
+
+    def test_degrade_flags(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "--lb", "reps", "--hosts", "8",
+            "--hosts-per-t0", "4", "--mib", "0.25",
+            "--degrade-uplink", "0", "--degrade-gbps", "200")
+        assert code == 0
+
+    def test_unfinished_run_fails(self, capsys):
+        # permanent blackhole of every uplink + tiny time budget
+        code, out = run_cli(
+            capsys, "run", "--lb", "ecmp", "--hosts", "8",
+            "--hosts-per-t0", "4", "--mib", "4",
+            "--max-us", "50")
+        assert code == 1
+
+
+class TestCompare:
+    def test_compare_table(self, capsys):
+        code, out = run_cli(
+            capsys, "compare", "--lbs", "ops,reps", "--hosts", "8",
+            "--hosts-per-t0", "4", "--mib", "0.25")
+        assert code == 0
+        assert "ops" in out and "reps" in out
+        assert "max_fct_us" in out
+
+
+class TestFootprint:
+    def test_table1_defaults(self, capsys):
+        code, out = run_cli(capsys, "footprint")
+        assert code == 0
+        assert "193 bits" in out
+        assert "25 bytes" in out
+
+    def test_single_element(self, capsys):
+        code, out = run_cli(capsys, "footprint", "--buffer", "1")
+        assert code == 0
+        assert "74 bits" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_pattern(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--pattern", "gather"])

@@ -1,0 +1,98 @@
+"""Trace workload generation (Appendix D distributions)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.traces import (
+    FACEBOOK_CDF,
+    WEBSEARCH_CDF,
+    empirical_cdf,
+    generate_trace_flows,
+    mean_flow_size,
+    sample_flow_size,
+)
+
+
+class TestCdfSampling:
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_property_samples_within_support(self, seed):
+        rng = random.Random(seed)
+        for _ in range(20):
+            s = sample_flow_size(WEBSEARCH_CDF, rng)
+            assert 1 <= s <= WEBSEARCH_CDF[-1][0]
+
+    def test_websearch_mostly_small_flows(self):
+        """Paper: 'the majority of flows are quite small (<100 KB)'."""
+        rng = random.Random(0)
+        sizes = [sample_flow_size(WEBSEARCH_CDF, rng) for _ in range(5000)]
+        small = sum(1 for s in sizes if s < 100_000)
+        assert small / len(sizes) > 0.6
+
+    def test_facebook_smaller_than_websearch(self):
+        rng = random.Random(0)
+        fb = sorted(sample_flow_size(FACEBOOK_CDF, rng)
+                    for _ in range(5000))
+        rng = random.Random(0)
+        ws = sorted(sample_flow_size(WEBSEARCH_CDF, rng)
+                    for _ in range(5000))
+        assert fb[len(fb) // 2] < ws[len(ws) // 2]
+
+    def test_mean_between_extremes(self):
+        m = mean_flow_size(WEBSEARCH_CDF)
+        assert 10_000 < m < 5_000_000
+
+
+class TestFlowGeneration:
+    def test_load_scales_flow_count(self):
+        low = generate_trace_flows(n_hosts=8, load=0.4, duration_us=200,
+                                   host_gbps=400, seed=1)
+        high = generate_trace_flows(n_hosts=8, load=1.0, duration_us=200,
+                                    host_gbps=400, seed=1)
+        assert len(high) > len(low) > 0
+
+    def test_offered_load_close_to_target(self):
+        load = 0.6
+        duration = 2000.0
+        flows = generate_trace_flows(n_hosts=8, load=load,
+                                     duration_us=duration,
+                                     host_gbps=400, seed=2)
+        offered = sum(f.size_bytes for f in flows) / 8  # per host
+        capacity = 400 * 1000 / 8 * duration  # bytes per host
+        assert offered / capacity == pytest.approx(load, rel=0.25)
+
+    def test_flows_sorted_and_valid(self):
+        flows = generate_trace_flows(n_hosts=8, load=0.5, duration_us=100,
+                                     host_gbps=400, seed=3)
+        assert all(0 <= f.start_us < 100 for f in flows)
+        assert all(f.src != f.dst for f in flows)
+        starts = [f.start_us for f in flows]
+        assert starts == sorted(starts)
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace_flows(n_hosts=8, load=0, duration_us=10,
+                                 host_gbps=400)
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(KeyError):
+            generate_trace_flows(n_hosts=8, load=0.5, duration_us=10,
+                                 host_gbps=400, trace="bing")
+
+
+class TestEmpiricalCdf:
+    def test_cdf_monotone_to_one(self):
+        points = empirical_cdf([5, 1, 3, 2, 4])
+        values = [v for v, _ in points]
+        probs = [p for _, p in points]
+        assert values == sorted(values)
+        assert probs[-1] == 1.0
+        assert all(p1 <= p2 for p1, p2 in zip(probs, probs[1:]))
+
+    def test_empty_ok(self):
+        assert empirical_cdf([]) == []
