@@ -12,10 +12,17 @@ larger, closer-to-paper runs.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Iterable, Mapping, Optional, Sequence
 
 from repro.harness import current_scale, format_table
 from repro.harness.runner import Scenario
+from repro.harness.sweep import (
+    ResultStore,
+    SweepResults,
+    SweepTask,
+    make_task,
+    run_sweep,
+)
 from repro.sim.topology import TopologyParams
 
 #: the full Sec. 4.1 baseline suite, in the paper's legend order
@@ -59,6 +66,40 @@ def msg(paper_mib: float) -> int:
 def scenario(lb: str, topo: TopologyParams, **kw) -> Scenario:
     kw.setdefault("max_us", 2_000_000.0)
     return Scenario(lb=lb, topo=topo, **kw)
+
+
+def sweep_task(lb: str, topo: TopologyParams, workload, *, seed: int,
+               failure=None, **kw) -> SweepTask:
+    """A sweep task with the benchmarks' default time budget."""
+    kw.setdefault("max_us", 2_000_000.0)
+    return make_task(lb, topo, workload, seed=seed, failure=failure, **kw)
+
+
+def bench_workers() -> int:
+    """Worker processes for benchmark matrices (``REPRO_BENCH_WORKERS``,
+    default serial so pytest-benchmark timings stay comparable)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+
+
+def run_matrix(name: str, tasks: Mapping[object, SweepTask],
+               workers: Optional[int] = None) -> Dict[object, object]:
+    """Route a benchmark's scenario matrix through the sweep harness.
+
+    ``tasks`` maps the benchmark's own keys (e.g. ``(pattern, mib,
+    lb)``) to sweep tasks; the result maps the same keys to
+    :class:`~repro.harness.sweep.TaskResult`.  With
+    ``REPRO_BENCH_CACHE=1`` results persist under
+    ``benchmarks/results/sweeps/<name>`` and re-runs skip finished
+    tasks.
+    """
+    store = None
+    if os.environ.get("REPRO_BENCH_CACHE"):
+        store = ResultStore(os.path.join(RESULTS_DIR, "sweeps", name))
+    results: SweepResults = run_sweep(
+        list(tasks.values()),
+        workers=bench_workers() if workers is None else workers,
+        store=store)
+    return {key: results[task] for key, task in tasks.items()}
 
 
 def fct_table(results: Dict[str, object], metric: str = "max_fct_us"):

@@ -15,26 +15,29 @@ flowlet/PLB granularity; at 100% trace load REPS holds ~5% over OPS.
 from __future__ import annotations
 
 import pytest
-from _common import ALL_LBS, CORE_LBS, msg, report, scenario, small_topo
+from _common import ALL_LBS, CORE_LBS, msg, report, run_matrix, small_topo, \
+    sweep_task
 
-from repro.harness import run_collective, run_synthetic, run_trace
+from repro.harness import WorkloadSpec
 
 SIZES_MIB = (4, 8, 16)
 
 
 def _synthetic_matrix():
-    out = {}
+    tasks = {}
     for pattern, fan in (("incast", 8), ("permutation", 0), ("tornado", 0)):
         for mib in SIZES_MIB:
+            # incast has only fan-in flows and its CC-bound shape
+            # needs the real message sizes; the scaled sizes keep the
+            # all-pairs patterns fast
+            size = mib << 20 if pattern == "incast" else msg(mib)
+            workload = WorkloadSpec(kind="synthetic", pattern=pattern,
+                                    msg_bytes=size, fan_in=fan or 8)
             for lb in ALL_LBS:
-                s = scenario(lb, small_topo(), seed=3)
-                # incast has only fan-in flows and its CC-bound shape
-                # needs the real message sizes; the scaled sizes keep the
-                # all-pairs patterns fast
-                size = mib << 20 if pattern == "incast" else msg(mib)
-                res = run_synthetic(s, pattern, size, fan_in=fan or 8)
-                out[(pattern, mib, lb)] = res.metrics.max_fct_us
-    return out
+                tasks[(pattern, mib, lb)] = sweep_task(
+                    lb, small_topo(), workload, seed=3)
+    results = run_matrix("fig03_synthetic", tasks)
+    return {key: res.value("max_fct_us") for key, res in results.items()}
 
 
 def test_fig03_synthetic(benchmark):
@@ -73,12 +76,13 @@ def test_fig03_synthetic(benchmark):
 @pytest.mark.parametrize("load", [0.4, 0.7, 1.0])
 def test_fig03_dc_traces(benchmark, load):
     def run():
-        out = {}
-        for lb in CORE_LBS:
-            s = scenario(lb, small_topo(), seed=3, max_us=5_000_000.0)
-            res = run_trace(s, load=load, duration_us=100.0)
-            out[lb] = res.metrics.avg_fct_us
-        return out
+        workload = WorkloadSpec(kind="trace", pattern="websearch",
+                                load=load, duration_us=100.0)
+        tasks = {lb: sweep_task(lb, small_topo(), workload, seed=3,
+                                max_us=5_000_000.0)
+                 for lb in CORE_LBS}
+        results = run_matrix(f"fig03_traces_load{int(load * 100)}", tasks)
+        return {lb: res.value("avg_fct_us") for lb, res in results.items()}
 
     data = benchmark.pedantic(run, rounds=1, iterations=1)
     report(f"fig03_traces_load{int(load * 100)}",
@@ -97,17 +101,20 @@ def test_fig03_dc_traces(benchmark, load):
 
 def test_fig03_collectives(benchmark):
     def run():
-        out = {}
+        tasks = {}
         for kind, n_par in (("alltoall", 4), ("alltoall", 8),
                             ("ring_allreduce", 0),
                             ("butterfly_allreduce", 0)):
+            workload = WorkloadSpec(kind="collective", pattern=kind,
+                                    msg_bytes=msg(4),
+                                    n_parallel=n_par or 8)
+            key = kind if not n_par else f"{kind}(n={n_par})"
             for lb in CORE_LBS:
-                s = scenario(lb, small_topo(), seed=3,
-                             max_us=20_000_000.0)
-                res = run_collective(s, kind, msg(4), n_parallel=n_par or 8)
-                key = kind if not n_par else f"{kind}(n={n_par})"
-                out[(key, lb)] = res.collective.finish_us
-        return out
+                tasks[(key, lb)] = sweep_task(
+                    lb, small_topo(), workload, seed=3,
+                    max_us=20_000_000.0)
+        results = run_matrix("fig03_collectives", tasks)
+        return {key: res.value("finish_us") for key, res in results.items()}
 
     data = benchmark.pedantic(run, rounds=1, iterations=1)
     kinds = sorted({k for k, _ in data})

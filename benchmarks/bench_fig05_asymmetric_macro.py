@@ -7,29 +7,29 @@ Paper shapes: REPS up to 5x over ECMP and ~10% over the second-best
 
 from __future__ import annotations
 
-from _common import ALL_LBS, CORE_LBS, msg, report, scenario, small_topo
+from _common import ALL_LBS, CORE_LBS, msg, report, run_matrix, \
+    small_topo, sweep_task
 
-from repro.harness import (
-    degrade_fraction_hook,
-    run_collective,
-    run_synthetic,
-    run_trace,
-)
+from repro.harness import FailureSpec, WorkloadSpec
 
 #: 3% of uplinks in the paper's 1024-node tree; in a 16-uplink testbed
 #: one downgraded cable (~6%) is the closest integer equivalent
-DEGRADE = degrade_fraction_hook(0.05, 200.0, seed=11)
+DEGRADE = FailureSpec.make("degrade_fraction", fraction=0.05, gbps=200.0,
+                           seed=11)
 
 
 def test_fig05_synthetic(benchmark):
     def run():
-        out = {}
+        tasks = {}
         for pattern in ("permutation", "tornado"):
+            workload = WorkloadSpec(kind="synthetic", pattern=pattern,
+                                    msg_bytes=msg(8))
             for lb in ALL_LBS:
-                s = scenario(lb, small_topo(), seed=5, failures=DEGRADE)
-                res = run_synthetic(s, pattern, msg(8))
-                out[(pattern, lb)] = res.metrics.max_fct_us
-        return out
+                tasks[(pattern, lb)] = sweep_task(
+                    lb, small_topo(), workload, seed=5, failure=DEGRADE)
+        results = run_matrix("fig05_synthetic", tasks)
+        return {key: res.value("max_fct_us")
+                for key, res in results.items()}
 
     data = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = []
@@ -53,13 +53,13 @@ def test_fig05_synthetic(benchmark):
 
 def test_fig05_dc_traces(benchmark):
     def run():
-        out = {}
-        for lb in CORE_LBS:
-            s = scenario(lb, small_topo(), seed=5, failures=DEGRADE,
-                         max_us=10_000_000.0)
-            res = run_trace(s, load=1.0, duration_us=100.0)
-            out[lb] = res.metrics.avg_fct_us
-        return out
+        workload = WorkloadSpec(kind="trace", pattern="websearch",
+                                load=1.0, duration_us=100.0)
+        tasks = {lb: sweep_task(lb, small_topo(), workload, seed=5,
+                                failure=DEGRADE, max_us=10_000_000.0)
+                 for lb in CORE_LBS}
+        results = run_matrix("fig05_traces", tasks)
+        return {lb: res.value("avg_fct_us") for lb, res in results.items()}
 
     data = benchmark.pedantic(run, rounds=1, iterations=1)
     report("fig05_traces", "Fig 5 (mid): DC traces 100% load, degraded",
@@ -71,14 +71,16 @@ def test_fig05_dc_traces(benchmark):
 
 def test_fig05_collectives(benchmark):
     def run():
-        out = {}
+        tasks = {}
         for kind in ("ring_allreduce", "alltoall"):
+            workload = WorkloadSpec(kind="collective", pattern=kind,
+                                    msg_bytes=msg(4), n_parallel=8)
             for lb in CORE_LBS:
-                s = scenario(lb, small_topo(), seed=5, failures=DEGRADE,
-                             max_us=20_000_000.0)
-                res = run_collective(s, kind, msg(4), n_parallel=8)
-                out[(kind, lb)] = res.collective.finish_us
-        return out
+                tasks[(kind, lb)] = sweep_task(
+                    lb, small_topo(), workload, seed=5, failure=DEGRADE,
+                    max_us=20_000_000.0)
+        results = run_matrix("fig05_collectives", tasks)
+        return {key: res.value("finish_us") for key, res in results.items()}
 
     data = benchmark.pedantic(run, rounds=1, iterations=1)
     kinds = sorted({k for k, _ in data})

@@ -12,9 +12,11 @@ OPS's does — is preserved.
 
 from __future__ import annotations
 
-from _common import msg, report, scenario
+from typing import Dict, Mapping, Optional, Sequence
 
-from repro.harness import run_synthetic
+from _common import msg, report, run_matrix, sweep_task
+
+from repro.harness import WorkloadSpec
 from repro.sim.topology import TopologyParams
 
 TOPOS = {
@@ -25,38 +27,55 @@ TOPOS = {
 EVS_SIZES = (16, 64, 65536)
 
 
-def _run(lb: str, n_hosts: int, evs: int):
-    s = scenario(lb, TOPOS[n_hosts], seed=5, evs_size=evs,
-                 max_us=50_000_000.0)
-    return run_synthetic(s, "tornado", msg(8)).metrics
+def run_scaling_matrix(
+    topos: Mapping[int, TopologyParams] = TOPOS,
+    evs_sizes: Sequence[int] = EVS_SIZES,
+    lbs: Sequence[str] = ("ops", "reps"),
+    msg_bytes: Optional[int] = None,
+    workers: Optional[int] = None,
+    name: str = "fig16",
+) -> Dict[tuple, object]:
+    """The figure's (lb, hosts, evs) matrix through the sweep harness.
+
+    Parameterized so the tier-1 smoke test can run a tiny instance of
+    the exact same wiring.  Returns ``(lb, n_hosts, evs) ->
+    TaskResult``.
+    """
+    workload = WorkloadSpec(kind="synthetic", pattern="tornado",
+                            msg_bytes=msg_bytes or msg(8))
+    tasks = {(lb, n, evs): sweep_task(lb, topo, workload, seed=5,
+                                      evs_size=evs, max_us=50_000_000.0)
+             for n, topo in topos.items() for evs in evs_sizes
+             for lb in lbs}
+    return run_matrix(name, tasks, workers=workers)
 
 
 def test_fig16_topology_scaling(benchmark):
-    data = benchmark.pedantic(
-        lambda: {(lb, n, evs): _run(lb, n, evs)
-                 for n in TOPOS for evs in EVS_SIZES
-                 for lb in ("ops", "reps")},
-        rounds=1, iterations=1)
+    results = benchmark.pedantic(run_scaling_matrix, rounds=1,
+                                 iterations=1)
+    # value() restores JSON null back to inf for runs that starved out
+    data = {key: {"max_fct_us": res.value("max_fct_us")}
+            for key, res in results.items()}
 
     rows = []
     for n in TOPOS:
         for evs in EVS_SIZES:
             rows.append([n, evs,
-                         round(data[("ops", n, evs)].max_fct_us, 1),
-                         round(data[("reps", n, evs)].max_fct_us, 1)])
+                         round(data[("ops", n, evs)]["max_fct_us"], 1),
+                         round(data[("reps", n, evs)]["max_fct_us"], 1)])
     report("fig16", "Fig 16: topology scaling x EVS size "
            "(paper: REPS flat; OPS needs a large EVS, worsens with size)",
            ["hosts", "evs_size", "ops_max_fct_us", "reps_max_fct_us"],
            rows)
 
     for n in TOPOS:
-        reps_full = data[("reps", n, 65536)].max_fct_us
+        reps_full = data[("reps", n, 65536)]["max_fct_us"]
         # REPS with 64 EVs ~ full EVS at every scale
-        assert data[("reps", n, 64)].max_fct_us <= reps_full * 1.15, n
+        assert data[("reps", n, 64)]["max_fct_us"] <= reps_full * 1.15, n
         # REPS with 64 EVs beats OPS with the full 16-bit EVS (headline)
-        assert data[("reps", n, 64)].max_fct_us <= \
-            data[("ops", n, 65536)].max_fct_us * 1.05, n
+        assert data[("reps", n, 64)]["max_fct_us"] <= \
+            data[("ops", n, 65536)]["max_fct_us"] * 1.05, n
     # OPS with 16 EVs degrades well beyond OPS with 64K at the largest
     n = max(TOPOS)
-    assert data[("ops", n, 16)].max_fct_us > \
-        1.3 * data[("ops", n, 65536)].max_fct_us
+    assert data[("ops", n, 16)]["max_fct_us"] > \
+        1.3 * data[("ops", n, 65536)]["max_fct_us"]

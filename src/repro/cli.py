@@ -1,15 +1,19 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Three subcommands cover the common interactive uses:
+Four subcommands cover the common interactive uses:
 
 - ``run``: one simulation (pattern x load balancer) with a metrics line,
 - ``compare``: the same workload under several load balancers,
+- ``sweep``: a parallel lb x seed x workload campaign with cached
+  results and across-seed aggregation,
 - ``footprint``: print the Table-1 memory accounting.
 
 Examples::
 
     python -m repro run --lb reps --pattern tornado --hosts 32 --mib 2
     python -m repro compare --lbs ecmp,ops,reps --pattern permutation
+    python -m repro sweep --lbs ecmp,ops,reps --pattern tornado \\
+        --seeds 1,2,3,4 --workers 4 --name tornado-demo
     python -m repro run --lb reps --fail-uplink 0 --fail-at 50 --fail-for 200
     python -m repro footprint --buffer 8 --evs 65536
 """
@@ -17,12 +21,14 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from .core.footprint import compute_footprint
 from .core.reps import RepsConfig
-from .harness.report import format_table
+from .harness.report import format_sweep_table, format_table
+from .harness.sweep import ResultStore, SweepGrid, WorkloadSpec, run_sweep
 from .sim.network import Network, NetworkConfig
 from .sim.topology import TopologyParams
 from .workloads.synthetic import incast, permutation, tornado
@@ -72,6 +78,44 @@ def _build_parser() -> argparse.ArgumentParser:
     add_sim_args(cmp_p)
     cmp_p.add_argument("--lbs", default="ecmp,ops,reps",
                        help="comma-separated load balancer names")
+
+    sw_p = sub.add_parser(
+        "sweep", help="parallel multi-seed campaign with cached results")
+    sw_p.add_argument("--lbs", default="ecmp,ops,reps",
+                      help="comma-separated load balancer names")
+    sw_p.add_argument("--pattern", default="permutation",
+                      choices=("permutation", "tornado", "incast"))
+    sw_p.add_argument("--mib", type=float, default=1.0,
+                      help="message size in MiB")
+    sw_p.add_argument("--fan-in", type=int, default=8)
+    sw_p.add_argument("--hosts", type=int, default=16)
+    sw_p.add_argument("--hosts-per-t0", type=int, default=8)
+    sw_p.add_argument("--tiers", type=int, default=2, choices=(2, 3))
+    sw_p.add_argument("--oversubscription", type=int, default=1)
+    sw_p.add_argument("--cc", default="dctcp",
+                      choices=("dctcp", "eqds", "internal"))
+    sw_p.add_argument("--evs", default="65536",
+                      help="comma-separated EVS sizes (extra grid axis)")
+    sw_p.add_argument("--seeds", default=None,
+                      help="explicit comma-separated seeds; overrides "
+                           "--root-seed/--n-seeds")
+    sw_p.add_argument("--root-seed", type=int, default=1,
+                      help="root seed the per-task seeds are spawned from")
+    sw_p.add_argument("--n-seeds", type=int, default=4,
+                      help="number of seeds spawned from --root-seed")
+    sw_p.add_argument("--workers", type=int, default=1,
+                      help="worker processes (1 = serial)")
+    sw_p.add_argument("--max-us", type=float, default=2_000_000.0)
+    sw_p.add_argument("--metric", default="max_fct_us",
+                      help="metric to aggregate across seeds")
+    sw_p.add_argument("--name", default="cli",
+                      help="campaign name (artifact subdirectory)")
+    sw_p.add_argument("--results-dir",
+                      default=os.path.join("benchmarks", "results",
+                                           "sweeps"),
+                      help="artifact store root")
+    sw_p.add_argument("--fresh", action="store_true",
+                      help="ignore and overwrite cached task results")
 
     fp_p = sub.add_parser("footprint", help="Table-1 memory accounting")
     fp_p.add_argument("--buffer", type=int, default=8)
@@ -137,6 +181,49 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+class _FreshStore(ResultStore):
+    """A store that never reports a hit: every task re-runs, results
+    still persist (the ``--fresh`` behaviour)."""
+
+    def get(self, key):
+        return None
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    workload = WorkloadSpec(
+        kind="synthetic", pattern=args.pattern,
+        msg_bytes=int(args.mib * 1024 * 1024), fan_in=args.fan_in)
+    seeds = ([int(s) for s in args.seeds.split(",") if s.strip()]
+             if args.seeds else ())
+    evs_sizes = [int(s) for s in args.evs.split(",") if s.strip()]
+    grid = SweepGrid(
+        lbs=[s.strip() for s in args.lbs.split(",") if s.strip()],
+        workloads=[workload],
+        topos=[{"n_hosts": args.hosts, "hosts_per_t0": args.hosts_per_t0,
+                "tiers": args.tiers,
+                "oversubscription": args.oversubscription}],
+        seeds=seeds, root_seed=args.root_seed, n_seeds=args.n_seeds,
+        scenario_kw={"cc": args.cc, "max_us": args.max_us},
+        # always an explicit axis so the content key is canonical: the
+        # default EVS cached under `--evs 65536` also hits from a later
+        # `--evs 64,65536` run
+        axes={"evs_size": evs_sizes},
+    )
+    store_cls = _FreshStore if args.fresh else ResultStore
+    store = store_cls(os.path.join(args.results_dir, args.name))
+    results = run_sweep(grid, workers=args.workers, store=store,
+                        progress=True)
+    print(format_sweep_table(
+        f"sweep '{args.name}': {args.pattern} {args.mib} MiB on "
+        f"{args.hosts} hosts", results, args.metric))
+    print(f"tasks: {len(results)} total, {results.executed} executed, "
+          f"{results.cached} from cache ({store.root})")
+    incomplete = [r for r in results
+                  if r.metrics["flows_completed"] !=
+                  r.metrics["flows_total"]]
+    return 0 if not incomplete else 1
+
+
 def _cmd_footprint(args: argparse.Namespace) -> int:
     cfg = RepsConfig(buffer_size=args.buffer, evs_size=args.evs,
                      ev_lifespan=args.lifespan)
@@ -153,6 +240,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "run": _cmd_run,
         "compare": _cmd_compare,
+        "sweep": _cmd_sweep,
         "footprint": _cmd_footprint,
     }
     return handlers[args.command](args)

@@ -1,9 +1,10 @@
-"""Experiment harness: scenario runner, scaling, and reporting."""
+"""Experiment harness: scenario runner, sweeps, scaling, and reporting."""
 
 from .ascii_charts import hbar, render_port_series, sparkline
 from .stats import Aggregate, compare, repeat
 from .report import (
     cdf_points,
+    format_sweep_table,
     format_table,
     print_shape,
     print_table,
@@ -25,6 +26,20 @@ from .runner import (
     run_trace,
 )
 from .scale import FULL, QUICK, Scale, current_scale
+from .sweep import (
+    FailureSpec,
+    ResultStore,
+    SweepGrid,
+    SweepResults,
+    SweepTask,
+    TaskResult,
+    WorkloadSpec,
+    execute_task,
+    make_task,
+    run_sweep,
+    spawn_seeds,
+    task_key,
+)
 
 __all__ = [
     "Scenario", "ScenarioResult", "run_synthetic", "run_trace",
@@ -33,7 +48,10 @@ __all__ = [
     "degrade_fraction_hook", "ber_hook",
     "Scale", "QUICK", "FULL", "current_scale",
     "format_table", "print_table", "print_shape", "shape_note",
-    "speedups", "cdf_points",
+    "speedups", "cdf_points", "format_sweep_table",
     "hbar", "render_port_series", "sparkline",
     "Aggregate", "compare", "repeat",
+    "SweepGrid", "SweepTask", "SweepResults", "TaskResult",
+    "WorkloadSpec", "FailureSpec", "ResultStore",
+    "make_task", "task_key", "run_sweep", "spawn_seeds", "execute_task",
 ]

@@ -13,6 +13,8 @@ import math
 from dataclasses import dataclass
 from typing import Callable, List, Sequence
 
+from ..sim.metrics import nearest_rank
+
 #: two-sided 95% t-critical values for small sample sizes (df = n - 1)
 _T95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
         6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228}
@@ -47,6 +49,10 @@ class Aggregate:
             return 0.0
         t = _T95.get(self.n - 1, 1.96)
         return t * self.stdev / math.sqrt(self.n)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile ``p`` in [0, 100] of the samples."""
+        return nearest_rank(self.samples, p)
 
     @property
     def min(self) -> float:

@@ -1,0 +1,520 @@
+"""Parallel campaign runner: grid -> tasks -> worker pool -> artifact store.
+
+The paper (and the spraying literature it sits in — PRIME, Sprinklers)
+evaluates load balancers over large ``lb x topology x seed x workload``
+grids.  This module turns such a grid into an embarrassingly parallel
+campaign:
+
+1. :class:`SweepGrid` (or a hand-built list of :class:`SweepTask`)
+   declares the matrix.  Every axis value is plain data — topology
+   kwargs, a :class:`WorkloadSpec`, a :class:`FailureSpec` — so tasks
+   pickle cleanly and hash stably.
+2. :func:`run_sweep` executes the tasks, serially or across a
+   ``multiprocessing`` pool.  Each task carries its own seed (listed
+   explicitly or spawned deterministically from a root seed via
+   :func:`spawn_seeds`), and the simulator is deterministic given a
+   seed, so serial and parallel runs produce byte-identical metrics.
+3. Results persist as one JSON file per task in a :class:`ResultStore`,
+   keyed by a content hash of the task parameters: re-running a
+   campaign skips every finished task and recomputes aggregation
+   (mean/p99 across seeds) from the store.
+
+Example::
+
+    grid = SweepGrid(lbs=["ecmp", "ops", "reps"],
+                     workloads=[WorkloadSpec(kind="synthetic",
+                                             pattern="tornado",
+                                             msg_bytes=1 << 20)],
+                     topos=[{"n_hosts": 16, "hosts_per_t0": 8}],
+                     root_seed=7, n_seeds=4)
+    results = run_sweep(grid, workers=4,
+                        store=ResultStore("benchmarks/results/sweeps/demo"))
+    for group, agg in results.aggregate("max_fct_us").items():
+        print(group, agg.mean, agg.percentile(99))
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import multiprocessing
+import os
+from dataclasses import asdict, dataclass, field
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..core.reps import RepsConfig
+from ..sim.metrics import RunMetrics
+from ..sim.topology import TopologyParams
+from .runner import (
+    Scenario,
+    ber_hook,
+    degrade_cables_hook,
+    degrade_fraction_hook,
+    fail_cables_hook,
+    fail_fraction_hook,
+    run_collective,
+    run_synthetic,
+    run_trace,
+)
+from .stats import Aggregate
+
+#: bump to invalidate stored artifacts when the result format changes
+SCHEMA_VERSION = 1
+
+KV = Tuple[Tuple[str, object], ...]
+
+#: Scenario fields a sweep task may override (everything picklable)
+_SCENARIO_KEYS = frozenset(
+    {"cc", "evs_size", "ack_coalesce", "carry_evs", "reps", "rto_us",
+     "max_us"})
+
+#: declarative failure kinds -> the runner's hook factories
+_FAILURE_HOOKS = {
+    "fail_cables": fail_cables_hook,
+    "fail_fraction": fail_fraction_hook,
+    "degrade_cables": degrade_cables_hook,
+    "degrade_fraction": degrade_fraction_hook,
+    "ber": ber_hook,
+}
+
+
+def _kv(mapping: Mapping[str, object]) -> KV:
+    """Canonical, hashable key/value form of a mapping."""
+    out = []
+    for k in sorted(mapping):
+        v = mapping[k]
+        if isinstance(v, (list, tuple)):
+            v = tuple(v)
+        out.append((k, v))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One declarative workload: picklable, hashable, content-keyable.
+
+    ``kind`` selects the runner entry point; ``pattern`` names the
+    synthetic pattern, the collective kind, or the DC trace.
+    """
+
+    kind: str = "synthetic"          # synthetic | trace | collective
+    pattern: str = "permutation"
+    msg_bytes: int = 1 << 20
+    fan_in: int = 8                  # synthetic incast only
+    load: float = 0.6                # trace only
+    duration_us: float = 100.0       # trace only
+    n_parallel: int = 8              # AllToAll only
+    workload_seed: int = 2           # synthetic/trace only (collectives
+    #                                  are fully determined by the net)
+
+    def label(self) -> str:
+        if self.kind == "trace":
+            return f"{self.pattern}@{int(self.load * 100)}%"
+        if self.kind == "collective":
+            return self.pattern
+        return f"{self.pattern}/{self.msg_bytes >> 10}KiB"
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """A named failure hook plus kwargs, in canonical tuple form."""
+
+    kind: str
+    params: KV = ()
+
+    @classmethod
+    def make(cls, kind: str, **params) -> "FailureSpec":
+        if kind not in _FAILURE_HOOKS:
+            raise ValueError(f"unknown failure kind {kind!r}; "
+                             f"one of {sorted(_FAILURE_HOOKS)}")
+        return cls(kind, _kv(params))
+
+    def hook(self):
+        kwargs = {k: (list(v) if isinstance(v, tuple) else v)
+                  for k, v in self.params}
+        return _FAILURE_HOOKS[self.kind](**kwargs)
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One fully specified simulation: an atom of the campaign."""
+
+    lb: str
+    topo: KV
+    workload: WorkloadSpec
+    seed: int
+    scenario: KV = ()
+    failure: Optional[FailureSpec] = None
+
+    def group(self) -> "SweepTask":
+        """The task with its seed erased — the across-seed aggregation
+        unit (all other parameters identical)."""
+        return SweepTask(self.lb, self.topo, self.workload, -1,
+                         self.scenario, self.failure)
+
+    def label(self) -> str:
+        topo = dict(self.topo)
+        bits = [self.lb, self.workload.label(),
+                f"{topo.get('n_hosts', '?')}h"]
+        bits += [f"{k}={v}" for k, v in self.scenario if k != "max_us"]
+        if self.failure is not None:
+            bits.append(self.failure.kind)
+        return " ".join(str(b) for b in bits)
+
+
+def make_task(lb: str, topo: Union[TopologyParams, Mapping[str, object]],
+              workload: WorkloadSpec, *, seed: int,
+              failure: Optional[FailureSpec] = None,
+              **scenario_kw) -> SweepTask:
+    """Build a :class:`SweepTask` from natural arguments."""
+    if isinstance(topo, TopologyParams):
+        topo = asdict(topo)
+    unknown = set(scenario_kw) - _SCENARIO_KEYS
+    if unknown:
+        raise ValueError(f"unsupported scenario keys {sorted(unknown)}; "
+                         f"allowed: {sorted(_SCENARIO_KEYS)}")
+    reps = scenario_kw.get("reps")
+    if isinstance(reps, RepsConfig):
+        scenario_kw["reps"] = _kv(asdict(reps))
+    return SweepTask(lb=lb, topo=_kv(topo), workload=workload,
+                     seed=int(seed), scenario=_kv(scenario_kw),
+                     failure=failure)
+
+
+# ----------------------------------------------------------------------
+# deterministic seeding
+# ----------------------------------------------------------------------
+def spawn_seeds(root_seed: int, n: int) -> List[int]:
+    """``n`` child seeds derived from ``root_seed``.
+
+    Pure function of ``(root_seed, index)`` — independent of execution
+    order or worker count, so a grid expanded from the same root always
+    simulates with the same seeds.
+    """
+    out = []
+    for i in range(n):
+        digest = hashlib.sha256(f"reps-sweep/{root_seed}/{i}".encode())
+        out.append(int.from_bytes(digest.digest()[:4], "big"))
+    return out
+
+
+# ----------------------------------------------------------------------
+# content keys and the artifact store
+# ----------------------------------------------------------------------
+def _jsonify(obj):
+    if isinstance(obj, tuple):
+        return [_jsonify(x) for x in obj]
+    if isinstance(obj, FailureSpec):
+        return {"kind": obj.kind, "params": _jsonify(obj.params)}
+    if isinstance(obj, WorkloadSpec):
+        return asdict(obj)
+    return obj
+
+
+#: WorkloadSpec fields that actually reach each runner entry point —
+#: everything else is excluded from the content key, so e.g. two
+#: collective specs differing only in the (inapplicable) workload_seed
+#: cannot mint distinct cache entries for byte-identical simulations
+_WORKLOAD_KEY_FIELDS = {
+    "synthetic": ("kind", "pattern", "msg_bytes", "fan_in",
+                  "workload_seed"),
+    "trace": ("kind", "pattern", "load", "duration_us", "workload_seed"),
+    "collective": ("kind", "pattern", "msg_bytes", "n_parallel"),
+}
+
+
+def _workload_doc(workload: WorkloadSpec) -> Dict[str, object]:
+    doc = asdict(workload)
+    names = _WORKLOAD_KEY_FIELDS.get(workload.kind)
+    return {k: doc[k] for k in names} if names else doc
+
+
+def task_key(task: SweepTask) -> str:
+    """Content hash identifying a task (and its stored result)."""
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "lb": task.lb,
+        "topo": _jsonify(task.topo),
+        "workload": _workload_doc(task.workload),
+        "seed": task.seed,
+        "scenario": _jsonify(task.scenario),
+        "failure": _jsonify(task.failure),
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+class ResultStore:
+    """One JSON artifact per finished task under a root directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def get(self, key: str) -> Optional[dict]:
+        try:
+            with open(self._path(key)) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if payload.get("schema") != SCHEMA_VERSION:
+            return None
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        # per-process temp name: concurrent campaigns sharing a store
+        # must not interleave writes before the atomic rename
+        tmp = self._path(key) + f".{os.getpid()}.tmp"
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        os.replace(tmp, self._path(key))
+
+    def keys(self) -> List[str]:
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return sorted(n[:-5] for n in names if n.endswith(".json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+
+# ----------------------------------------------------------------------
+# task execution (top-level so it pickles into pool workers)
+# ----------------------------------------------------------------------
+def _metrics_doc(metrics: RunMetrics) -> Dict[str, object]:
+    doc = asdict(metrics)
+    for name in ("max_fct_us", "avg_fct_us", "p50_fct_us", "p99_fct_us",
+                 "total_drops", "avg_goodput_gbps"):
+        value = getattr(metrics, name)
+        # inf (no flow finished) serializes as null — json.dump would
+        # otherwise emit the non-standard `Infinity` literal and break
+        # strict JSON consumers of the artifact files
+        doc[name] = value if math.isfinite(value) else None
+    return doc
+
+
+def execute_task(task: SweepTask) -> Dict[str, object]:
+    """Run one task to completion and return its JSON-ready payload."""
+    kw = dict(task.scenario)
+    if isinstance(kw.get("reps"), tuple):
+        kw["reps"] = RepsConfig(**dict(kw["reps"]))
+    scenario = Scenario(
+        lb=task.lb, topo=TopologyParams(**dict(task.topo)), seed=task.seed,
+        failures=task.failure.hook() if task.failure else None, **kw)
+    w = task.workload
+    extra: Dict[str, float] = {}
+    if w.kind == "synthetic":
+        res = run_synthetic(scenario, w.pattern, w.msg_bytes,
+                            fan_in=w.fan_in, workload_seed=w.workload_seed)
+    elif w.kind == "trace":
+        res = run_trace(scenario, load=w.load, duration_us=w.duration_us,
+                        trace=w.pattern, workload_seed=w.workload_seed)
+    elif w.kind == "collective":
+        res = run_collective(scenario, w.pattern, w.msg_bytes,
+                             n_parallel=w.n_parallel)
+        extra["finish_us"] = res.collective.finish_us
+    else:
+        raise ValueError(f"unknown workload kind {w.kind!r}")
+    return {"schema": SCHEMA_VERSION, "key": task_key(task),
+            "task": {"label": task.label(), "seed": task.seed},
+            "metrics": _metrics_doc(res.metrics), "extra": extra}
+
+
+def _pool_entry(item: Tuple[str, SweepTask]) -> Tuple[str, Dict[str, object]]:
+    key, task = item
+    return key, execute_task(task)
+
+
+# ----------------------------------------------------------------------
+# grids and results
+# ----------------------------------------------------------------------
+@dataclass
+class SweepGrid:
+    """A declarative campaign: the cross product of every axis.
+
+    ``seeds`` wins when non-empty; otherwise ``n_seeds`` seeds are
+    spawned from ``root_seed``.  ``axes`` adds extra scenario axes
+    (e.g. ``{"evs_size": [16, 64, 65536]}``) to the product, and
+    ``scenario_kw`` applies shared scenario overrides to every task.
+    """
+
+    lbs: Sequence[str]
+    workloads: Sequence[WorkloadSpec]
+    topos: Sequence[Mapping[str, object]] = \
+        field(default_factory=lambda: [{"n_hosts": 16, "hosts_per_t0": 8}])
+    seeds: Sequence[int] = ()
+    root_seed: int = 1
+    n_seeds: int = 1
+    scenario_kw: Mapping[str, object] = field(default_factory=dict)
+    axes: Mapping[str, Sequence[object]] = field(default_factory=dict)
+    failure: Optional[FailureSpec] = None
+
+    def grid_seeds(self) -> List[int]:
+        if self.seeds:
+            return [int(s) for s in self.seeds]
+        return spawn_seeds(self.root_seed, self.n_seeds)
+
+    def tasks(self) -> List[SweepTask]:
+        axis_names = sorted(self.axes)
+        combos: List[Dict[str, object]] = [{}]
+        for name in axis_names:
+            combos = [dict(c, **{name: v})
+                      for c in combos for v in self.axes[name]]
+        out = []
+        for topo in self.topos:
+            for workload in self.workloads:
+                for combo in combos:
+                    for lb in self.lbs:
+                        for seed in self.grid_seeds():
+                            kw = dict(self.scenario_kw)
+                            kw.update(combo)
+                            out.append(make_task(
+                                lb, topo, workload, seed=seed,
+                                failure=self.failure, **kw))
+        return out
+
+
+@dataclass
+class TaskResult:
+    """One task's stored payload, plus whether the store supplied it."""
+
+    task: SweepTask
+    key: str
+    metrics: Dict[str, object]
+    extra: Dict[str, float]
+    cached: bool
+
+    def value(self, metric: str) -> float:
+        if metric in self.metrics:
+            v = self.metrics[metric]
+        elif metric in self.extra:
+            v = self.extra[metric]
+        else:
+            raise KeyError(
+                f"metric {metric!r} not in task result "
+                f"(have {sorted(self.metrics) + sorted(self.extra)})")
+        # null in the artifact is the JSON-safe spelling of inf
+        return float("inf") if v is None else v
+
+
+class SweepResults:
+    """Ordered task results with across-seed aggregation."""
+
+    def __init__(self, results: Sequence[TaskResult]) -> None:
+        self.results = list(results)
+        self._by_task = {r.task: r for r in self.results}
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, task: SweepTask) -> TaskResult:
+        return self._by_task[task]
+
+    @property
+    def executed(self) -> int:
+        return sum(not r.cached for r in self.results)
+
+    @property
+    def cached(self) -> int:
+        return sum(r.cached for r in self.results)
+
+    def aggregate(self, metric: str) -> Dict[SweepTask, Aggregate]:
+        """Mean/percentile aggregation of ``metric`` across seeds.
+
+        Keys are seed-erased tasks (:meth:`SweepTask.group`), in first-
+        appearance order; values aggregate every seed of that group.
+        """
+        groups: Dict[SweepTask, List[float]] = {}
+        for r in self.results:
+            groups.setdefault(r.task.group(), []).append(
+                float(r.value(metric)))
+        return {g: Aggregate(samples) for g, samples in groups.items()}
+
+    def table(self, metric: str) -> List[List[object]]:
+        """Report-ready rows: label, seeds, mean, p99, min, max."""
+        rows = []
+        for group, agg in self.aggregate(metric).items():
+            rows.append([group.label(), agg.n, round(agg.mean, 2),
+                         round(agg.percentile(99), 2),
+                         round(agg.min, 2), round(agg.max, 2)])
+        return rows
+
+
+def run_sweep(grid: Union[SweepGrid, Iterable[SweepTask]], *,
+              workers: int = 1, store: Optional[ResultStore] = None,
+              progress: bool = False) -> SweepResults:
+    """Execute a campaign and return its (possibly cached) results.
+
+    ``workers > 1`` fans pending tasks out over a ``multiprocessing``
+    pool; results are identical to a serial run because each task's RNG
+    state depends only on the task itself.  With a ``store``, finished
+    tasks are skipped on re-runs and new results are persisted as they
+    arrive.
+    """
+    tasks = grid.tasks() if isinstance(grid, SweepGrid) else list(grid)
+    payloads: Dict[str, Dict[str, object]] = {}
+    cached_keys = set()
+    pending: List[Tuple[str, SweepTask]] = []
+    seen = set()
+    for task in tasks:
+        key = task_key(task)
+        if key in seen:
+            continue
+        seen.add(key)
+        hit = store.get(key) if store is not None else None
+        if hit is not None:
+            payloads[key] = hit
+            cached_keys.add(key)
+        else:
+            pending.append((key, task))
+    if progress:
+        print(f"sweep: {len(tasks)} tasks, {len(cached_keys)} cached, "
+              f"{len(pending)} to run on {max(1, workers)} worker(s)")
+
+    if pending:
+        if workers > 1:
+            ctx = multiprocessing.get_context()
+            n = min(workers, len(pending))
+            with ctx.Pool(processes=n) as pool:
+                done = pool.imap_unordered(_pool_entry, pending, chunksize=1)
+                for key, payload in done:
+                    payloads[key] = payload
+                    if store is not None:
+                        store.put(key, payload)
+        else:
+            for key, task in pending:
+                payloads[key] = execute_task(task)
+                if store is not None:
+                    store.put(key, payloads[key])
+
+    results = []
+    counted = set()
+    for task in tasks:
+        key = task_key(task)
+        payload = payloads[key]
+        # duplicate tasks in the input execute once; only the first
+        # occurrence counts as freshly executed
+        fresh = key not in cached_keys and key not in counted
+        counted.add(key)
+        results.append(TaskResult(
+            task=task, key=key, metrics=payload["metrics"],
+            extra=payload.get("extra", {}), cached=not fresh))
+    return SweepResults(results)

@@ -17,6 +17,21 @@ from .port import EgressPort
 from .units import US
 
 
+def nearest_rank(samples: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile ``p`` in [0, 100]; nan when empty.
+
+    The one percentile definition shared by per-run FCT percentiles and
+    the harness's across-seed aggregation, so reported tails can't
+    silently diverge.  Lives in the sim layer (a leaf) so the harness
+    can import it without inverting the package dependency direction.
+    """
+    if not samples:
+        return float("nan")
+    data = sorted(samples)
+    k = min(len(data) - 1, max(0, int(round(p / 100 * (len(data) - 1)))))
+    return data[k]
+
+
 @dataclass
 class RunMetrics:
     """Aggregate results of one simulation run."""
@@ -54,9 +69,7 @@ class RunMetrics:
         """FCT percentile ``p`` in [0, 100] (nearest-rank)."""
         if not self.fct_us:
             return float("inf")
-        data = sorted(self.fct_us)
-        k = min(len(data) - 1, max(0, int(round(p / 100 * (len(data) - 1)))))
-        return data[k]
+        return nearest_rank(self.fct_us, p)
 
     @property
     def p50_fct_us(self) -> float:

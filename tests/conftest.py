@@ -1,4 +1,9 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+``small_network`` lives in :mod:`helpers` (same directory) so test
+modules can import it directly; the ``net`` fixture wraps it for the
+common case.
+"""
 
 from __future__ import annotations
 
@@ -6,10 +11,10 @@ import random
 
 import pytest
 
+from helpers import small_network
 from repro.core.reps import RepsConfig, RepsSender
 from repro.sim.engine import Engine
-from repro.sim.network import Network, NetworkConfig
-from repro.sim.topology import TopologyParams
+from repro.sim.network import Network
 
 
 @pytest.fixture
@@ -26,21 +31,6 @@ def rng() -> random.Random:
 def reps() -> RepsSender:
     """A REPS sender with a tiny EVS so collisions are testable."""
     return RepsSender(RepsConfig(evs_size=256), rng=random.Random(7))
-
-
-def small_network(lb: str = "reps", *, n_hosts: int = 8,
-                  hosts_per_t0: int = 4, seed: int = 1,
-                  **cfg_kwargs) -> Network:
-    """An 8-host, 2-ToR network — big enough for multipath, fast to run."""
-    topo_kwargs = {}
-    for key in ("tiers", "oversubscription", "trim_enabled", "mtu_bytes",
-                "link_gbps", "host_link_gbps", "switch_mode",
-                "t0s_per_pod", "t2s_per_t1", "queue_capacity_bytes"):
-        if key in cfg_kwargs:
-            topo_kwargs[key] = cfg_kwargs.pop(key)
-    topo = TopologyParams(n_hosts=n_hosts, hosts_per_t0=hosts_per_t0,
-                          **topo_kwargs)
-    return Network(NetworkConfig(topo=topo, lb=lb, seed=seed, **cfg_kwargs))
 
 
 @pytest.fixture

@@ -56,7 +56,7 @@ class TestPanel:
         assert "(no samples)" in render_port_series([], {})
 
     def test_from_real_recorder(self):
-        from ..conftest import small_network
+        from helpers import small_network
         net = small_network()
         rec = net.record_ports(net.tree.t0s[0].up_ports, bucket_us=5.0)
         net.add_flow(0, 4, 2 << 20)
@@ -108,7 +108,7 @@ class TestRepeat:
 
     def test_real_simulation_seed_robust(self):
         """REPS <= OPS on tornado across seeds (mean ratio <= 1)."""
-        from ..conftest import small_network
+        from helpers import small_network
         from repro.workloads import tornado
 
         def fct(lb, seed):

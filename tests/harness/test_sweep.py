@@ -1,0 +1,262 @@
+"""Sweep harness: grid expansion, caching, parallel determinism."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.harness.sweep import (
+    FailureSpec,
+    ResultStore,
+    SweepGrid,
+    WorkloadSpec,
+    execute_task,
+    make_task,
+    run_sweep,
+    spawn_seeds,
+    task_key,
+)
+from repro.sim.topology import TopologyParams
+
+TINY_TOPO = {"n_hosts": 8, "hosts_per_t0": 4}
+TINY_WORKLOAD = WorkloadSpec(kind="synthetic", pattern="permutation",
+                             msg_bytes=128 * 1024)
+
+
+def tiny_grid(**overrides) -> SweepGrid:
+    kw = dict(lbs=["ops", "reps"], workloads=[TINY_WORKLOAD],
+              topos=[TINY_TOPO], seeds=(1, 2),
+              scenario_kw={"max_us": 2_000_000.0})
+    kw.update(overrides)
+    return SweepGrid(**kw)
+
+
+class TestGridExpansion:
+    def test_cross_product_size(self):
+        grid = tiny_grid(lbs=["ecmp", "ops", "reps"], seeds=(1, 2, 3, 4),
+                         axes={"evs_size": [16, 64]})
+        assert len(grid.tasks()) == 3 * 4 * 2
+
+    def test_axis_values_reach_scenario(self):
+        grid = tiny_grid(axes={"evs_size": [16, 64]})
+        evs = {dict(t.scenario)["evs_size"] for t in grid.tasks()}
+        assert evs == {16, 64}
+
+    def test_explicit_seeds_win_over_root_seed(self):
+        grid = tiny_grid(seeds=(5, 6), root_seed=1, n_seeds=4)
+        assert {t.seed for t in grid.tasks()} == {5, 6}
+
+    def test_seeds_spawned_from_root(self):
+        grid = tiny_grid(seeds=(), root_seed=42, n_seeds=3)
+        assert sorted({t.seed for t in grid.tasks()}) == \
+            sorted(spawn_seeds(42, 3))
+
+    def test_topology_params_accepted(self):
+        task = make_task("reps", TopologyParams(n_hosts=8, hosts_per_t0=4),
+                         TINY_WORKLOAD, seed=1)
+        assert dict(task.topo)["n_hosts"] == 8
+
+    def test_unknown_scenario_key_rejected(self):
+        with pytest.raises(ValueError, match="unsupported scenario"):
+            make_task("reps", TINY_TOPO, TINY_WORKLOAD, seed=1,
+                      telemetry_bucket_us=5.0)
+
+
+class TestSeeding:
+    def test_spawn_is_deterministic(self):
+        assert spawn_seeds(7, 4) == spawn_seeds(7, 4)
+
+    def test_spawn_is_prefix_stable(self):
+        assert spawn_seeds(7, 8)[:4] == spawn_seeds(7, 4)
+
+    def test_distinct_roots_distinct_seeds(self):
+        assert set(spawn_seeds(1, 4)).isdisjoint(spawn_seeds(2, 4))
+
+
+class TestTaskKey:
+    def test_stable_across_processes_and_orders(self):
+        a = make_task("reps", TINY_TOPO, TINY_WORKLOAD, seed=1,
+                      evs_size=64, max_us=1000.0)
+        b = make_task("reps", dict(reversed(list(TINY_TOPO.items()))),
+                      TINY_WORKLOAD, seed=1, max_us=1000.0, evs_size=64)
+        assert task_key(a) == task_key(b)
+
+    def test_sensitive_to_every_axis(self):
+        base = make_task("reps", TINY_TOPO, TINY_WORKLOAD, seed=1)
+        keys = {task_key(base)}
+        variants = [
+            make_task("ops", TINY_TOPO, TINY_WORKLOAD, seed=1),
+            make_task("reps", TINY_TOPO, TINY_WORKLOAD, seed=2),
+            make_task("reps", {"n_hosts": 16, "hosts_per_t0": 4},
+                      TINY_WORKLOAD, seed=1),
+            make_task("reps", TINY_TOPO,
+                      WorkloadSpec(kind="synthetic", pattern="tornado",
+                                   msg_bytes=128 * 1024), seed=1),
+            make_task("reps", TINY_TOPO, TINY_WORKLOAD, seed=1,
+                      evs_size=64),
+            make_task("reps", TINY_TOPO, TINY_WORKLOAD, seed=1,
+                      failure=FailureSpec.make("ber", ber=0.01)),
+        ]
+        for v in variants:
+            keys.add(task_key(v))
+        assert len(keys) == 7
+
+    def test_inapplicable_workload_fields_share_key(self):
+        """workload_seed never reaches a collective run, so it must not
+        mint distinct cache entries for identical simulations."""
+        def coll(seed):
+            return make_task(
+                "reps", TINY_TOPO,
+                WorkloadSpec(kind="collective", pattern="ring_allreduce",
+                             msg_bytes=128 * 1024, workload_seed=seed),
+                seed=1)
+        assert task_key(coll(1)) == task_key(coll(2))
+        # but for synthetic workloads it is real entropy
+        syn1 = make_task("reps", TINY_TOPO,
+                         WorkloadSpec(workload_seed=1), seed=1)
+        syn2 = make_task("reps", TINY_TOPO,
+                         WorkloadSpec(workload_seed=2), seed=1)
+        assert task_key(syn1) != task_key(syn2)
+
+    def test_failure_spec_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown failure kind"):
+            FailureSpec.make("meteor_strike", fraction=1.0)
+
+
+class TestStoreCaching:
+    def test_cache_miss_then_hit(self, tmp_path):
+        store = ResultStore(str(tmp_path / "campaign"))
+        grid = tiny_grid()
+        first = run_sweep(grid, store=store)
+        assert (first.executed, first.cached) == (4, 0)
+        assert len(store) == 4
+        again = run_sweep(grid, store=store)
+        assert (again.executed, again.cached) == (0, 4)
+
+    def test_partial_cache_runs_only_missing(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        small = tiny_grid(lbs=["reps"])
+        run_sweep(small, store=store)
+        grown = tiny_grid(lbs=["ops", "reps"])
+        results = run_sweep(grown, store=store)
+        assert results.cached == 2
+        assert results.executed == 2
+
+    def test_corrupt_artifact_recomputed(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        grid = tiny_grid(lbs=["reps"], seeds=(1,))
+        run_sweep(grid, store=store)
+        (key,) = store.keys()
+        with open(os.path.join(store.root, f"{key}.json"), "w") as fh:
+            fh.write("{not json")
+        results = run_sweep(grid, store=store)
+        assert results.executed == 1
+
+    def test_cached_payload_matches_fresh(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        grid = tiny_grid(lbs=["reps"], seeds=(3,))
+        fresh = run_sweep(grid, store=store)
+        cached = run_sweep(grid, store=store)
+        assert fresh.results[0].metrics == cached.results[0].metrics
+
+    def test_store_survives_json_roundtrip(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        task = make_task("reps", TINY_TOPO, TINY_WORKLOAD, seed=1,
+                         max_us=2_000_000.0)
+        payload = execute_task(task)
+        store.put(task_key(task), payload)
+        assert store.get(task_key(task)) == \
+            json.loads(json.dumps(payload))
+
+
+class TestDeterminism:
+    def test_serial_equals_parallel(self):
+        """The acceptance bar: a 3-lb x 4-seed grid on 1 worker and on 2
+        workers yields identical per-task metrics and aggregates."""
+        grid = tiny_grid(lbs=["ecmp", "ops", "reps"], seeds=(1, 2, 3, 4))
+        serial = run_sweep(grid, workers=1)
+        parallel = run_sweep(grid, workers=2)
+        assert len(serial) == len(parallel) == 12
+        for s, p in zip(serial, parallel):
+            assert s.task == p.task
+            assert s.metrics == p.metrics
+        agg_s = serial.aggregate("max_fct_us")
+        agg_p = parallel.aggregate("max_fct_us")
+        assert {g: a.samples for g, a in agg_s.items()} == \
+            {g: a.samples for g, a in agg_p.items()}
+
+    def test_seeds_actually_vary_runs(self):
+        grid = tiny_grid(lbs=["ecmp"], seeds=(1, 2, 3, 4))
+        fcts = [r.value("max_fct_us") for r in run_sweep(grid)]
+        assert len(set(fcts)) > 1
+
+
+class TestAggregation:
+    def test_mean_and_p99_across_seeds(self):
+        grid = tiny_grid(seeds=(1, 2, 3))
+        results = run_sweep(grid)
+        agg = results.aggregate("max_fct_us")
+        assert len(agg) == 2  # one group per lb
+        for group, a in agg.items():
+            assert group.seed == -1
+            assert a.n == 3
+            assert a.min <= a.mean <= a.max
+            assert a.percentile(99) == a.max
+
+    def test_duplicate_tasks_deduped(self):
+        task = make_task("reps", TINY_TOPO, TINY_WORKLOAD, seed=1,
+                         max_us=2_000_000.0)
+        results = run_sweep([task, task])
+        assert results.executed == 1
+
+    def test_table_rows_render(self):
+        from repro.harness import format_sweep_table
+        results = run_sweep(tiny_grid(seeds=(1, 2)))
+        text = format_sweep_table("t", results, "avg_fct_us")
+        assert "avg_fct_us" in text
+        assert "reps" in text
+
+    def test_unknown_metric_raises(self):
+        results = run_sweep(tiny_grid(lbs=["reps"], seeds=(1,)))
+        with pytest.raises(KeyError, match="nope"):
+            results.results[0].value("nope")
+
+
+class TestWorkloadKinds:
+    def test_collective_reports_finish_us(self):
+        task = make_task(
+            "reps", TINY_TOPO,
+            WorkloadSpec(kind="collective", pattern="ring_allreduce",
+                         msg_bytes=128 * 1024),
+            seed=1, max_us=20_000_000.0)
+        payload = execute_task(task)
+        assert payload["extra"]["finish_us"] > 0
+
+    def test_trace_workload_runs(self):
+        task = make_task(
+            "reps", TINY_TOPO,
+            WorkloadSpec(kind="trace", pattern="websearch", load=0.4,
+                         duration_us=20.0),
+            seed=1, max_us=5_000_000.0)
+        payload = execute_task(task)
+        assert payload["metrics"]["flows_total"] > 0
+
+    def test_unknown_kind_rejected(self):
+        task = make_task("reps", TINY_TOPO,
+                         WorkloadSpec(kind="quantum"), seed=1)
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            execute_task(task)
+
+    def test_failure_spec_applies(self):
+        spec = FailureSpec.make("degrade_fraction", fraction=0.5,
+                                gbps=50.0, seed=3)
+        slow = execute_task(make_task(
+            "ecmp", TINY_TOPO, TINY_WORKLOAD, seed=1, failure=spec,
+            max_us=2_000_000.0))
+        fast = execute_task(make_task(
+            "ecmp", TINY_TOPO, TINY_WORKLOAD, seed=1,
+            max_us=2_000_000.0))
+        assert slow["metrics"]["max_fct_us"] > \
+            fast["metrics"]["max_fct_us"]

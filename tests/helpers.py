@@ -1,0 +1,59 @@
+"""Shared test helpers importable from any test module.
+
+Kept out of ``conftest.py`` so call sites can use a plain ``from helpers
+import small_network`` — relative imports of conftest break under
+pytest's rootdir-based collection (no ``__init__.py`` packages here).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.engine import Engine
+from repro.sim.link import Cable
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.packet import Packet
+from repro.sim.port import EgressPort
+from repro.sim.switch import Switch
+from repro.sim.topology import TopologyParams
+from repro.sim.units import NS
+
+
+def small_network(lb: str = "reps", *, n_hosts: int = 8,
+                  hosts_per_t0: int = 4, seed: int = 1,
+                  **cfg_kwargs) -> Network:
+    """An 8-host, 2-ToR network — big enough for multipath, fast to run."""
+    topo_kwargs = {}
+    for key in ("tiers", "oversubscription", "trim_enabled", "mtu_bytes",
+                "link_gbps", "host_link_gbps", "switch_mode",
+                "t0s_per_pod", "t2s_per_t1", "queue_capacity_bytes"):
+        if key in cfg_kwargs:
+            topo_kwargs[key] = cfg_kwargs.pop(key)
+    topo = TopologyParams(n_hosts=n_hosts, hosts_per_t0=hosts_per_t0,
+                          **topo_kwargs)
+    return Network(NetworkConfig(topo=topo, lb=lb, seed=seed, **cfg_kwargs))
+
+
+def make_switch(engine: Engine, n_up: int = 8, mode: str = "ecmp",
+                seed: int = 7):
+    """A standalone switch with ``n_up`` cabled uplinks for routing tests."""
+    sw = Switch("t0", 0, salt=12345, rng=random.Random(seed), mode=mode)
+    ports = []
+    for i in range(n_up):
+        p = EgressPort(engine, f"up{i}", rate_gbps=400,
+                       latency_ps=500 * NS, capacity_bytes=1 << 20,
+                       kmin_bytes=1 << 18, kmax_bytes=1 << 19,
+                       rng=random.Random(seed + i))
+        cable = Cable(f"c{i}")
+        rev = EgressPort(engine, f"rev{i}", rate_gbps=400,
+                         latency_ps=500 * NS, capacity_bytes=1 << 20,
+                         kmin_bytes=1, kmax_bytes=2,
+                         rng=random.Random(seed))
+        cable.attach(p, rev)
+        ports.append(p)
+    sw.up_ports = ports
+    return sw, ports
+
+
+def pkt(src: int = 0, dst: int = 100, ev: int = 0) -> Packet:
+    return Packet(src=src, dst=dst, flow_id=0, seq=0, size=4096, ev=ev)

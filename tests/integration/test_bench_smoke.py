@@ -1,0 +1,60 @@
+"""Tier-1 smoke coverage of the benchmark -> sweep wiring.
+
+Imports a real figure benchmark and drives its matrix at tiny scale
+through the sweep harness, so a refactor that breaks the benchmark
+plumbing fails the fast suite instead of only the (slow) benchmark run.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import sys
+
+import pytest
+
+BENCH_DIR = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                         "benchmarks")
+sys.path.insert(0, os.path.abspath(BENCH_DIR))
+
+
+@pytest.fixture(autouse=True)
+def no_bench_cache(monkeypatch):
+    """Keep the smoke run hermetic: no artifact reads/writes."""
+    monkeypatch.delenv("REPRO_BENCH_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_BENCH_WORKERS", raising=False)
+
+
+def test_fig16_matrix_through_sweep_tiny():
+    bench = importlib.import_module("bench_fig16_topology_scaling")
+    from repro.sim.topology import TopologyParams
+
+    topos = {8: TopologyParams(n_hosts=8, hosts_per_t0=4)}
+    results = bench.run_scaling_matrix(
+        topos=topos, evs_sizes=(64,), lbs=("ops", "reps"),
+        msg_bytes=128 * 1024, workers=1, name="smoke_fig16")
+    assert set(results) == {("ops", 8, 64), ("reps", 8, 64)}
+    for key, res in results.items():
+        assert res.metrics["flows_completed"] == \
+            res.metrics["flows_total"] > 0, key
+        assert res.value("max_fct_us") < float("inf")
+        # the evs axis really reached the scenario
+        assert dict(res.task.scenario)["evs_size"] == 64
+
+
+def test_common_run_matrix_parallel_matches_serial():
+    _common = importlib.import_module("_common")
+    from repro.harness import WorkloadSpec
+
+    workload = WorkloadSpec(kind="synthetic", pattern="tornado",
+                            msg_bytes=128 * 1024)
+    def build():
+        return {(lb, s): _common.sweep_task(
+                    lb, _common.small_topo(n_hosts=8, hosts_per_t0=4),
+                    workload, seed=s)
+                for lb in ("ops", "reps") for s in (1, 2)}
+
+    serial = _common.run_matrix("smoke_serial", build(), workers=1)
+    parallel = _common.run_matrix("smoke_parallel", build(), workers=2)
+    for key in serial:
+        assert serial[key].metrics == parallel[key].metrics

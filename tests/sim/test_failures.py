@@ -5,7 +5,7 @@ from __future__ import annotations
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.topology import TopologyParams
 
-from ..conftest import small_network
+from helpers import small_network
 
 US = 1_000_000
 

@@ -8,7 +8,7 @@ from repro.sim.metrics import RunMetrics
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.topology import TopologyParams
 
-from ..conftest import small_network
+from helpers import small_network
 
 
 class TestRunSemantics:

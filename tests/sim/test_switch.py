@@ -7,35 +7,10 @@ from collections import Counter
 
 import pytest
 
-from repro.sim.engine import Engine
-from repro.sim.link import Cable
-from repro.sim.packet import Packet
-from repro.sim.port import EgressPort
+from helpers import make_switch, pkt
 from repro.sim.switch import Switch, ecmp_hash
-from repro.sim.units import NS
 
 
-def make_switch(engine, n_up=8, mode="ecmp", seed=7):
-    sw = Switch("t0", 0, salt=12345, rng=random.Random(seed), mode=mode)
-    ports = []
-    for i in range(n_up):
-        p = EgressPort(engine, f"up{i}", rate_gbps=400,
-                       latency_ps=500 * NS, capacity_bytes=1 << 20,
-                       kmin_bytes=1 << 18, kmax_bytes=1 << 19,
-                       rng=random.Random(seed + i))
-        cable = Cable(f"c{i}")
-        rev = EgressPort(engine, f"rev{i}", rate_gbps=400,
-                         latency_ps=500 * NS, capacity_bytes=1 << 20,
-                         kmin_bytes=1, kmax_bytes=2,
-                         rng=random.Random(seed))
-        cable.attach(p, rev)
-        ports.append(p)
-    sw.up_ports = ports
-    return sw, ports
-
-
-def pkt(src=0, dst=100, ev=0):
-    return Packet(src=src, dst=dst, flow_id=0, seq=0, size=4096, ev=ev)
 
 
 class TestEcmpHash:

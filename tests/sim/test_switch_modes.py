@@ -9,7 +9,7 @@ from repro.sim.engine import Engine
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.topology import TopologyParams
 
-from .test_switch import make_switch, pkt
+from helpers import make_switch, pkt
 
 
 class TestSourceMode:

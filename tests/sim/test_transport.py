@@ -7,7 +7,7 @@ import pytest
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.topology import TopologyParams
 
-from ..conftest import small_network
+from helpers import small_network
 
 
 def one_flow(net: Network, size=256 * 1024, src=0, dst=4, **kw) -> int:

@@ -66,6 +66,47 @@ class TestCompare:
         assert "max_fct_us" in out
 
 
+class TestSweep:
+    def sweep(self, capsys, tmp_path, *extra):
+        return run_cli(
+            capsys, "sweep", "--lbs", "ops,reps", "--pattern", "tornado",
+            "--hosts", "8", "--hosts-per-t0", "4", "--mib", "0.125",
+            "--seeds", "1,2", "--results-dir", str(tmp_path), *extra)
+
+    def test_aggregated_table(self, capsys, tmp_path):
+        code, out = self.sweep(capsys, tmp_path)
+        assert code == 0
+        assert "max_fct_us" in out
+        assert "2 executed" not in out  # 4 tasks: 2 lbs x 2 seeds
+        assert "4 executed, 0 from cache" in out
+
+    def test_rerun_hits_cache(self, capsys, tmp_path):
+        self.sweep(capsys, tmp_path)
+        code, out = self.sweep(capsys, tmp_path)
+        assert code == 0
+        assert "0 executed, 4 from cache" in out
+
+    def test_fresh_ignores_cache(self, capsys, tmp_path):
+        self.sweep(capsys, tmp_path)
+        code, out = self.sweep(capsys, tmp_path, "--fresh")
+        assert code == 0
+        assert "4 executed, 0 from cache" in out
+
+    def test_workers_flag(self, capsys, tmp_path):
+        code, out = self.sweep(capsys, tmp_path, "--workers", "2")
+        assert code == 0
+        assert "2 worker(s)" in out
+
+    def test_root_seed_spawning(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "sweep", "--lbs", "reps", "--pattern", "tornado",
+            "--hosts", "8", "--hosts-per-t0", "4", "--mib", "0.125",
+            "--root-seed", "9", "--n-seeds", "3",
+            "--results-dir", str(tmp_path))
+        assert code == 0
+        assert "3 to run" in out
+
+
 class TestFootprint:
     def test_table1_defaults(self, capsys):
         code, out = run_cli(capsys, "footprint")

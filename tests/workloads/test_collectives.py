@@ -11,7 +11,7 @@ from repro.workloads.collectives import (
     spine_heavy_ring,
 )
 
-from ..conftest import small_network
+from helpers import small_network
 
 
 class TestSpineHeavyRing:
