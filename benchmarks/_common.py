@@ -1,9 +1,13 @@
 """Shared helpers for the per-figure benchmarks.
 
-Every benchmark regenerates one table/figure of the paper: it runs the
-scenario matrix, prints a paper-vs-measured report (also written to
-``benchmarks/results/<name>.txt``) and asserts the paper's *shape* claims
-— orderings and rough factors, not absolute numbers (see DESIGN.md).
+Every benchmark regenerates one table/figure of the paper by executing
+its :class:`repro.scenarios.FigureSpec` through the sweep harness:
+:func:`bench_figure` runs the registered matrix (parallel workers via
+``REPRO_BENCH_WORKERS``, cached artifacts via ``REPRO_BENCH_CACHE=1``),
+:func:`bench_report` prints the figure's paper-vs-measured table (also
+written to ``benchmarks/results/<fig_id>.txt``), and
+``FigureResult.check()`` asserts the paper's *shape* claims — orderings
+and rough factors, not absolute numbers (see DESIGN.md).
 
 Run ``REPRO_BENCH_SCALE=full pytest benchmarks/ --benchmark-only`` for
 larger, closer-to-paper runs.
@@ -12,25 +16,27 @@ larger, closer-to-paper runs.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
 
-from repro.harness import current_scale, format_table
-from repro.harness.runner import Scenario
-from repro.harness.sweep import (
-    ResultStore,
-    SweepResults,
-    SweepTask,
-    make_task,
-    run_sweep,
+from repro.harness import format_table
+from repro.harness.sweep import ResultStore, SweepResults, SweepTask, \
+    run_sweep
+from repro.scenarios import FigureResult, get_figure, run_figure
+# one vocabulary for benches and specs: re-export, don't re-implement
+from repro.scenarios._shared import (  # noqa: F401  (re-exports)
+    ALL_LBS,
+    CORE_LBS,
+    msg,
+    scaled_topo,
+    small_topo,
+    task as sweep_task,
 )
-from repro.sim.topology import TopologyParams
 
-#: the full Sec. 4.1 baseline suite, in the paper's legend order
-ALL_LBS = ["ecmp", "ops", "flowlet", "bitmap", "mprdma", "plb",
-           "mptcp", "adaptive_roce", "reps"]
-
-#: cheaper subset for the wide sweeps (traces, collectives)
-CORE_LBS = ["ecmp", "ops", "plb", "mprdma", "reps"]
+__all__ = [
+    "ALL_LBS", "CORE_LBS", "RESULTS_DIR", "bench_figure", "bench_report",
+    "bench_workers", "msg", "report", "run_matrix",
+    "scaled_topo", "small_topo", "sweep_task",
+]
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -47,69 +53,44 @@ def report(name: str, title: str, headers: Sequence[str],
         fh.write(body)
 
 
-def small_topo(**overrides) -> TopologyParams:
-    """A matrix-friendly topology: 16 hosts, 8 uplinks, 1:1."""
-    params = dict(n_hosts=16, hosts_per_t0=8)
-    params.update(overrides)
-    return TopologyParams(**params)
-
-
-def scaled_topo(**overrides) -> TopologyParams:
-    """The scale-controlled topology for single-scenario figures."""
-    return current_scale().topo(**overrides)
-
-
-def msg(paper_mib: float) -> int:
-    return current_scale().msg_bytes(paper_mib)
-
-
-def scenario(lb: str, topo: TopologyParams, **kw) -> Scenario:
-    kw.setdefault("max_us", 2_000_000.0)
-    return Scenario(lb=lb, topo=topo, **kw)
-
-
-def sweep_task(lb: str, topo: TopologyParams, workload, *, seed: int,
-               failure=None, **kw) -> SweepTask:
-    """A sweep task with the benchmarks' default time budget."""
-    kw.setdefault("max_us", 2_000_000.0)
-    return make_task(lb, topo, workload, seed=seed, failure=failure, **kw)
-
-
 def bench_workers() -> int:
     """Worker processes for benchmark matrices (``REPRO_BENCH_WORKERS``,
     default serial so pytest-benchmark timings stay comparable)."""
     return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
 
 
-def run_matrix(name: str, tasks: Mapping[object, SweepTask],
-               workers: Optional[int] = None) -> Dict[object, object]:
-    """Route a benchmark's scenario matrix through the sweep harness.
-
-    ``tasks`` maps the benchmark's own keys (e.g. ``(pattern, mib,
-    lb)``) to sweep tasks; the result maps the same keys to
-    :class:`~repro.harness.sweep.TaskResult`.  With
-    ``REPRO_BENCH_CACHE=1`` results persist under
-    ``benchmarks/results/sweeps/<name>`` and re-runs skip finished
-    tasks.
-    """
-    store = None
+def _store(name: str) -> Optional[ResultStore]:
     if os.environ.get("REPRO_BENCH_CACHE"):
-        store = ResultStore(os.path.join(RESULTS_DIR, "sweeps", name))
+        return ResultStore(os.path.join(RESULTS_DIR, "sweeps", name))
+    return None
+
+
+def bench_figure(fig_id: str,
+                 workers: Optional[int] = None) -> FigureResult:
+    """Execute a registered figure's matrix through the sweep harness."""
+    return run_figure(get_figure(fig_id),
+                      workers=bench_workers() if workers is None
+                      else workers,
+                      store=_store(fig_id))
+
+
+def bench_report(result: FigureResult) -> None:
+    """Print + persist a figure's declared table."""
+    headers, rows, notes = result.table_doc()
+    report(result.spec.fig_id, result.spec.title, headers, rows, notes)
+
+
+def run_matrix(name: str, tasks: Mapping[object, SweepTask],
+               workers: Optional[int] = None) -> dict:
+    """Route a hand-built scenario matrix through the sweep harness.
+
+    ``tasks`` maps the caller's own keys to sweep tasks; the result maps
+    the same keys to :class:`~repro.harness.sweep.TaskResult`.  The
+    registry path (:func:`bench_figure`) supersedes this for registered
+    figures; it remains for ad-hoc matrices and the smoke tests.
+    """
     results: SweepResults = run_sweep(
         list(tasks.values()),
         workers=bench_workers() if workers is None else workers,
-        store=store)
+        store=_store(name))
     return {key: results[task] for key, task in tasks.items()}
-
-
-def fct_table(results: Dict[str, object], metric: str = "max_fct_us"):
-    """Rows of (lb, fct, speedup-vs-first-entry)."""
-    rows = []
-    base = None
-    for lb, res in results.items():
-        val = getattr(res.metrics, metric)
-        if base is None:
-            base = val
-        rows.append((lb, round(val, 1),
-                     round(base / val, 2) if val else float("inf")))
-    return rows

@@ -1,56 +1,21 @@
 """Ablation — REPS circular-buffer depth (Sec. 3.1 / Theorem 5.1).
 
-The paper fixes the buffer at 8 entries "based on empirical evidence and
-the bounds derived from Theorem 5.1".  This ablation sweeps the depth on
-a bursty scenario (ACKs arrive in bursts whenever downstream queues
-drain) and under failures: too-shallow buffers forget good entropies
-that arrive back-to-back; beyond ~8 the returns vanish while the
-footprint keeps growing.
+Sweeps the depth on a bursty scenario and under failures: the
+paper's depth-8 choice is near-optimal while state stays ~25 bytes.
+
+The scenario matrix, report table and shape checks are declared in the
+``ablation_buffer_depth`` spec of :mod:`repro.scenarios`; this wrapper
+executes it through the sweep harness and asserts the paper's claims.
 """
 
 from __future__ import annotations
 
-from _common import msg, report, scenario, small_topo
-
-from repro.core.footprint import compute_footprint
-from repro.core.reps import RepsConfig
-from repro.harness import fail_fraction_hook, run_synthetic
-
-DEPTHS = (1, 2, 4, 8, 16, 32)
-
-
-def _run(depth: int, failures: bool):
-    hook = fail_fraction_hook(0.13, 30.0, seed=4) if failures else None
-    s = scenario("reps", small_topo(), seed=5, failures=hook,
-                 reps=RepsConfig(buffer_size=depth),
-                 ack_coalesce=4, max_us=50_000_000.0)
-    return run_synthetic(s, "permutation", msg(8)).metrics
+from _common import bench_figure, bench_report
 
 
 def test_ablation_buffer_depth(benchmark):
-    data = benchmark.pedantic(
-        lambda: {(d, f): _run(d, f)
-                 for d in DEPTHS for f in (False, True)},
-        rounds=1, iterations=1)
-
-    rows = []
-    for d in DEPTHS:
-        fp = compute_footprint(RepsConfig(buffer_size=d))
-        rows.append((d, fp.total_bytes,
-                     round(data[(d, False)].max_fct_us, 1),
-                     round(data[(d, True)].max_fct_us, 1)))
-    report("ablation_buffer_depth",
-           "Ablation: REPS buffer depth (paper picks 8)",
-           ["depth", "state_bytes", "healthy_max_fct_us",
-            "failures_max_fct_us"], rows)
-
-    # every depth still completes the workload
-    for key, m in data.items():
-        assert m.flows_completed == m.flows_total, key
-    # the paper's depth-8 choice is within 10% of the best depth in both
-    # scenarios — deeper buffers buy nothing
-    for failures in (False, True):
-        best = min(data[(d, failures)].max_fct_us for d in DEPTHS)
-        assert data[(8, failures)].max_fct_us <= best * 1.10
-    # and the state stays ~25 bytes (the paper's headline)
-    assert compute_footprint(RepsConfig(buffer_size=8)).total_bytes == 25
+    result = benchmark.pedantic(
+        lambda: bench_figure("ablation_buffer_depth"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()

@@ -1,50 +1,21 @@
 """Ablation — incremental deployment: ECMP-traffic fraction sweep.
 
-Fig. 6 fixes the legacy (ECMP) share at 10%; this ablation sweeps it
-from 0% to 75% to quantify how REPS's benefit to *both* traffic classes
-evolves during a staged rollout (Sec. 4.3.2's deployment story).
+Sweeps the legacy share from 0% to 75% to quantify how REPS's
+benefit evolves during a staged rollout (Sec. 4.3.2).
+
+The scenario matrix, report table and shape checks are declared in the
+``ablation_incremental`` spec of :mod:`repro.scenarios`; this wrapper
+executes it through the sweep harness and asserts the paper's claims.
 """
 
 from __future__ import annotations
 
-from _common import msg, report, scenario, small_topo
-
-from repro.harness import run_mixed_traffic
-
-FRACTIONS = (0.0, 0.25, 0.5, 0.75)
-
-
-def _run(frac: float):
-    s = scenario("reps", small_topo(), seed=7, max_us=50_000_000.0)
-    if frac == 0.0:
-        from repro.harness import run_synthetic
-        res = run_synthetic(s, "permutation", msg(8))
-        return res.metrics, None
-    return run_mixed_traffic(s, "permutation", msg(8),
-                             background_lb="ecmp",
-                             background_fraction=frac)
+from _common import bench_figure, bench_report
 
 
 def test_ablation_incremental_deployment(benchmark):
-    data = benchmark.pedantic(
-        lambda: {f: _run(f) for f in FRACTIONS},
-        rounds=1, iterations=1)
-
-    rows = []
-    for f, (main, bg) in data.items():
-        rows.append((f"{int(f * 100)}%",
-                     round(main.max_fct_us, 1),
-                     round(bg.max_fct_us, 1) if bg else "-"))
-    report("ablation_incremental",
-           "Ablation: legacy-ECMP share during incremental deployment",
-           ["ecmp_share", "reps_traffic_max_fct_us",
-            "ecmp_traffic_max_fct_us"], rows)
-
-    pure = data[0.0][0].max_fct_us
-    for f in FRACTIONS[1:]:
-        main, bg = data[f]
-        assert main.flows_completed == main.flows_total
-        # REPS traffic degrades gracefully as legacy share grows, never
-        # catastrophically (stays within ~4x of an all-REPS fabric even
-        # at 75% legacy traffic)
-        assert main.max_fct_us < 4.0 * pure, f
+    result = benchmark.pedantic(
+        lambda: bench_figure("ablation_incremental"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()

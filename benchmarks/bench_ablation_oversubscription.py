@@ -1,46 +1,22 @@
 """Ablation — oversubscription sweep (Sec. 4.1 runs 1:1 to 4:1).
 
-With fewer ToR uplinks per host the uplink contention rises; REPS's
-advantage over OPS should persist (or grow) as the fabric gets tighter,
-and ECMP's collision penalty should worsen.
+REPS's advantage over OPS persists as the fabric gets tighter, and
+ECMP's collision penalty worsens.
+
+The scenario matrix, report table and shape checks are declared in the
+``ablation_oversubscription`` spec of :mod:`repro.scenarios`; this
+wrapper executes it through the sweep harness and asserts the paper's
+claims.
 """
 
 from __future__ import annotations
 
-from _common import msg, report, scenario, small_topo
-
-from repro.harness import run_synthetic
-
-RATIOS = (1, 2, 4)
-
-
-def _run(lb: str, oversub: int):
-    topo = small_topo(oversubscription=oversub)
-    s = scenario(lb, topo, seed=5, max_us=50_000_000.0)
-    return run_synthetic(s, "permutation", msg(8)).metrics
+from _common import bench_figure, bench_report
 
 
 def test_ablation_oversubscription(benchmark):
-    data = benchmark.pedantic(
-        lambda: {(lb, r): _run(lb, r)
-                 for r in RATIOS for lb in ("ecmp", "ops", "reps")},
-        rounds=1, iterations=1)
-
-    rows = []
-    for r in RATIOS:
-        rows.append((f"{r}:1",
-                     round(data[("ecmp", r)].max_fct_us, 1),
-                     round(data[("ops", r)].max_fct_us, 1),
-                     round(data[("reps", r)].max_fct_us, 1)))
-    report("ablation_oversubscription",
-           "Ablation: oversubscription 1:1 .. 4:1 (8 MiB permutation)",
-           ["oversub", "ecmp_us", "ops_us", "reps_us"], rows)
-
-    for r in RATIOS:
-        # REPS keeps its edge at every oversubscription level
-        assert data[("reps", r)].max_fct_us <= \
-            data[("ops", r)].max_fct_us * 1.05, r
-        assert data[("reps", r)].max_fct_us < \
-            data[("ecmp", r)].max_fct_us, r
-    # tighter fabrics take longer (sanity of the sweep itself)
-    assert data[("reps", 4)].max_fct_us > data[("reps", 1)].max_fct_us
+    result = benchmark.pedantic(
+        lambda: bench_figure("ablation_oversubscription"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()

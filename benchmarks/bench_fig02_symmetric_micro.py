@@ -1,67 +1,21 @@
 """Fig. 2 — tornado microscopic view: OPS vs REPS port telemetry.
 
-Paper: with a 16 MiB tornado, OPS shows port-utilization swings of ~15%
-around line rate and queues that repeatedly cross Kmin (sometimes Kmax);
-REPS converges so every uplink queue stays below Kmin while all ports sit
-at the line rate.  Completion is ~4% faster for REPS; the headline
-difference is queue stability.
+Paper: OPS shows ~15% port-utilization swings and queues crossing
+Kmin; REPS converges with every uplink queue below Kmin and ~4%
+faster completion.
 
-This figure needs a long-enough telemetry trace, so the 16 MiB message is
-used at every scale (one OPS + one REPS run).
+The scenario matrix, report table and shape checks are declared in the
+``fig02`` spec of :mod:`repro.scenarios`; this wrapper executes it
+through the sweep harness and asserts the paper's claims.
 """
 
 from __future__ import annotations
 
-from _common import report, scaled_topo, scenario
-
-from repro.harness import run_synthetic
-
-MSG = 16 << 20
-
-
-def _run(lb: str):
-    s = scenario(lb, scaled_topo(), telemetry_bucket_us=10.0, seed=3)
-    return run_synthetic(s, "tornado", MSG)
-
-
-def _series_stats(res):
-    rec = res.recorder
-    return {
-        "steady_queue_kb": rec.max_queue_kb(0.3, 0.9),
-        "util_spread_gbps": rec.utilization_spread(),
-        "ecn_marks": res.metrics.ecn_marks,
-        "max_fct_us": res.metrics.max_fct_us,
-    }
+from _common import bench_figure, bench_report
 
 
 def test_fig02_tornado_micro(benchmark):
-    results = benchmark.pedantic(
-        lambda: {lb: _run(lb) for lb in ("ops", "reps")},
-        rounds=1, iterations=1)
-    stats = {lb: _series_stats(res) for lb, res in results.items()}
-    kmin_kb = results["ops"].network.tree.queue_capacity() * 0.2 / 1024
-
-    rows = [(lb,
-             round(st["max_fct_us"], 1),
-             round(st["steady_queue_kb"], 1),
-             round(st["util_spread_gbps"], 1),
-             st["ecn_marks"])
-            for lb, st in stats.items()]
-    report("fig02", "Fig 2: tornado micro (paper: REPS queues < Kmin, "
-           "~4% faster; OPS queues cross Kmin)",
-           ["lb", "max_fct_us", "steady_queue_KB", "util_spread_Gbps",
-            "ecn_marks"], rows,
-           notes=[f"Kmin = {kmin_kb:.0f} KB"])
-
-    # shape: after convergence REPS holds every uplink queue around/below
-    # Kmin while OPS keeps colliding well past it
-    assert stats["reps"]["steady_queue_kb"] <= kmin_kb * 1.2
-    assert stats["ops"]["steady_queue_kb"] > \
-        1.5 * stats["reps"]["steady_queue_kb"]
-    # REPS completes at least as fast (paper: ~4% faster)
-    assert stats["reps"]["max_fct_us"] <= stats["ops"]["max_fct_us"] * 1.02
-    # port utilization swings: OPS steady spread well above REPS's
-    assert stats["reps"]["util_spread_gbps"] < \
-        stats["ops"]["util_spread_gbps"]
-    # ECN marks: REPS near zero, OPS abundant
-    assert stats["reps"]["ecn_marks"] < stats["ops"]["ecn_marks"] / 10
+    result = benchmark.pedantic(lambda: bench_figure("fig02"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()

@@ -1,133 +1,36 @@
 """Fig. 3 — symmetric-network macro comparison.
 
-Three panels:
-- synthetic benchmarks (incast 8:1, permutation, tornado x 4/8/16 MiB) as
-  speedup over ECMP,
-- DC traces: average FCT vs load level,
-- AI collectives: runtimes for AllToAll(n) and ring/butterfly AllReduce.
+Three panels: synthetics as speedup over ECMP, DC traces vs load,
+and AI collectives.  Paper shapes: incast is CC-bound; REPS leads or
+ties everywhere; per-packet beats flowlet/PLB granularity.
 
-Paper shapes: incast is CC-bound (all LBs equal); permutation/tornado
-punish ECMP (up to 6x) and coarse-grained LBs; REPS leads or ties
-everywhere; Adaptive RoCE ties REPS on tornado; per-packet beats
-flowlet/PLB granularity; at 100% trace load REPS holds ~5% over OPS.
+The scenario matrix, report table and shape checks are declared in the
+``fig03_synthetic`` / ``fig03_traces`` / ``fig03_collectives`` specs of
+:mod:`repro.scenarios`; this wrapper executes them through the sweep
+harness and asserts the paper's claims.
 """
 
 from __future__ import annotations
 
-import pytest
-from _common import ALL_LBS, CORE_LBS, msg, report, run_matrix, small_topo, \
-    sweep_task
-
-from repro.harness import WorkloadSpec
-
-SIZES_MIB = (4, 8, 16)
-
-
-def _synthetic_matrix():
-    tasks = {}
-    for pattern, fan in (("incast", 8), ("permutation", 0), ("tornado", 0)):
-        for mib in SIZES_MIB:
-            # incast has only fan-in flows and its CC-bound shape
-            # needs the real message sizes; the scaled sizes keep the
-            # all-pairs patterns fast
-            size = mib << 20 if pattern == "incast" else msg(mib)
-            workload = WorkloadSpec(kind="synthetic", pattern=pattern,
-                                    msg_bytes=size, fan_in=fan or 8)
-            for lb in ALL_LBS:
-                tasks[(pattern, mib, lb)] = sweep_task(
-                    lb, small_topo(), workload, seed=3)
-    results = run_matrix("fig03_synthetic", tasks)
-    return {key: res.value("max_fct_us") for key, res in results.items()}
+from _common import bench_figure, bench_report
 
 
 def test_fig03_synthetic(benchmark):
-    data = benchmark.pedantic(_synthetic_matrix, rounds=1, iterations=1)
-    rows = []
-    for pattern in ("incast", "permutation", "tornado"):
-        for mib in SIZES_MIB:
-            base = data[(pattern, mib, "ecmp")]
-            row = [f"{pattern[0].upper()}. {mib}MiB"]
-            row += [round(base / data[(pattern, mib, lb)], 2)
-                    for lb in ALL_LBS]
-            rows.append(row)
-    report("fig03_synthetic",
-           "Fig 3 (left): speedup vs ECMP, symmetric network",
-           ["workload"] + ALL_LBS, rows)
-
-    for mib in SIZES_MIB:
-        # incast is CC-bound: every LB within ~35% of ECMP
-        spread = [data[("incast", mib, lb)] for lb in ALL_LBS]
-        assert max(spread) / min(spread) < 1.35
-        # permutation/tornado: REPS strictly beats ECMP, matches/beats OPS
-        for pattern in ("permutation", "tornado"):
-            assert data[(pattern, mib, "reps")] < \
-                data[(pattern, mib, "ecmp")]
-            assert data[(pattern, mib, "reps")] <= \
-                data[(pattern, mib, "ops")] * 1.05
-    # tornado: Adaptive RoCE matches REPS (its ideal scenario)
-    t16 = {lb: data[("tornado", 16, lb)] for lb in ALL_LBS}
-    assert abs(t16["adaptive_roce"] - t16["reps"]) / t16["reps"] < 0.15
-    # permutation: REPS at least matches Adaptive RoCE (local optima are
-    # not globally optimal there — Sec. 4.3.1)
-    p16 = {lb: data[("permutation", 16, lb)] for lb in ALL_LBS}
-    assert p16["reps"] <= p16["adaptive_roce"] * 1.05
+    result = benchmark.pedantic(lambda: bench_figure("fig03_synthetic"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()
 
 
-@pytest.mark.parametrize("load", [0.4, 0.7, 1.0])
-def test_fig03_dc_traces(benchmark, load):
-    def run():
-        workload = WorkloadSpec(kind="trace", pattern="websearch",
-                                load=load, duration_us=100.0)
-        tasks = {lb: sweep_task(lb, small_topo(), workload, seed=3,
-                                max_us=5_000_000.0)
-                 for lb in CORE_LBS}
-        results = run_matrix(f"fig03_traces_load{int(load * 100)}", tasks)
-        return {lb: res.value("avg_fct_us") for lb, res in results.items()}
-
-    data = benchmark.pedantic(run, rounds=1, iterations=1)
-    report(f"fig03_traces_load{int(load * 100)}",
-           f"Fig 3 (mid): DC traces avg FCT at {int(load * 100)}% load",
-           ["lb", "avg_fct_us"],
-           [(lb, round(v, 1)) for lb, v in data.items()])
-    if load < 0.9:
-        # low/medium load: the paper shows all LBs bunched together
-        assert max(data.values()) <= min(data.values()) * 1.5
-    else:
-        # at 100% load per-packet spraying pulls ahead of per-flow ECMP
-        assert data["reps"] <= data["ecmp"]
-    # REPS stays near the best at any load
-    assert data["reps"] <= min(data.values()) * 1.15
+def test_fig03_dc_traces(benchmark):
+    result = benchmark.pedantic(lambda: bench_figure("fig03_traces"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()
 
 
 def test_fig03_collectives(benchmark):
-    def run():
-        tasks = {}
-        for kind, n_par in (("alltoall", 4), ("alltoall", 8),
-                            ("ring_allreduce", 0),
-                            ("butterfly_allreduce", 0)):
-            workload = WorkloadSpec(kind="collective", pattern=kind,
-                                    msg_bytes=msg(4),
-                                    n_parallel=n_par or 8)
-            key = kind if not n_par else f"{kind}(n={n_par})"
-            for lb in CORE_LBS:
-                tasks[(key, lb)] = sweep_task(
-                    lb, small_topo(), workload, seed=3,
-                    max_us=20_000_000.0)
-        results = run_matrix("fig03_collectives", tasks)
-        return {key: res.value("finish_us") for key, res in results.items()}
-
-    data = benchmark.pedantic(run, rounds=1, iterations=1)
-    kinds = sorted({k for k, _ in data})
-    rows = [[k] + [round(data[(k, lb)], 1) for lb in CORE_LBS]
-            for k in kinds]
-    report("fig03_collectives",
-           "Fig 3 (right): collective runtimes (us)",
-           ["collective"] + CORE_LBS, rows)
-
-    for k in kinds:
-        vals = {lb: data[(k, lb)] for lb in CORE_LBS}
-        if "ring" in k:
-            # ring AllReduce: no congestion accumulates; all LBs similar
-            assert max(vals.values()) / min(vals.values()) < 1.4
-        # REPS leads or ties every collective
-        assert vals["reps"] <= min(vals.values()) * 1.12
+    result = benchmark.pedantic(lambda: bench_figure("fig03_collectives"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()

@@ -1,47 +1,20 @@
 """Fig. 4 — asymmetric topology microscopic view.
 
-One ToR uplink degraded 400 -> 200 Gbps while n flows push 32 MiB each.
-Paper: OPS keeps choosing all ports equally and is capped by the slow
-link (1400 us completion); REPS converges to use the slow uplink less
-often, finishing in 799 us (~1.75x faster) with more stable queues.
+One ToR uplink degraded 400 -> 200 Gbps.  Paper: OPS is capped by
+the slow link (1400 us); REPS skews off it and finishes in 799 us.
+
+The scenario matrix, report table and shape checks are declared in the
+``fig04`` spec of :mod:`repro.scenarios`; this wrapper executes it
+through the sweep harness and asserts the paper's claims.
 """
 
 from __future__ import annotations
 
-from _common import msg, report, scaled_topo, scenario
-
-from repro.harness import degrade_cables_hook, run_synthetic
-
-
-def _run(lb: str):
-    s = scenario(lb, scaled_topo(), seed=5,
-                 failures=degrade_cables_hook([0], 200.0),
-                 telemetry_bucket_us=10.0)
-    return run_synthetic(s, "permutation", msg(32))
+from _common import bench_figure, bench_report
 
 
 def test_fig04_asymmetric_micro(benchmark):
-    results = benchmark.pedantic(
-        lambda: {lb: _run(lb) for lb in ("ops", "reps")},
-        rounds=1, iterations=1)
-
-    rows = []
-    stats = {}
-    for lb, res in results.items():
-        t0 = res.network.tree.t0s[0]
-        slow_port = t0.up_ports[0]
-        other = [p.stats.bytes_tx for p in t0.up_ports if p is not slow_port]
-        share = slow_port.stats.bytes_tx / (sum(other) / len(other))
-        stats[lb] = {"fct": res.metrics.max_fct_us, "slow_share": share,
-                     "drops": res.metrics.total_drops}
-        rows.append((lb, round(res.metrics.max_fct_us, 1),
-                     round(share, 2), res.metrics.total_drops))
-    report("fig04", "Fig 4: asymmetric micro (paper: OPS 1400us capped by "
-           "slow link; REPS 799us, skews off it)",
-           ["lb", "max_fct_us", "slow_link_share", "drops"], rows)
-
-    # paper factor ~1.75x; require a clear win
-    assert stats["reps"]["fct"] < 0.75 * stats["ops"]["fct"]
-    # OPS uses the slow link as much as the others; REPS skews away
-    assert 0.8 < stats["ops"]["slow_share"] < 1.2
-    assert stats["reps"]["slow_share"] < 0.8
+    result = benchmark.pedantic(lambda: bench_figure("fig04"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()

@@ -1,52 +1,20 @@
 """Fig. 7 — two transient uplink failures during a 64 MiB permutation.
 
-Failure 1: 100 us starting at t=100 us; failure 2: 200 us at t=350 us.
-Paper: OPS keeps spraying into the dead paths (CC throttles everything);
-REPS freezes within one RTO, avoids them entirely, completes >35% faster
-and drops ~2.5x fewer packets.
+Paper: OPS keeps spraying into the dead paths; REPS freezes within
+one RTO, completes >35% faster and drops ~2.5x fewer packets.
+
+The scenario matrix, report table and shape checks are declared in the
+``fig07`` spec of :mod:`repro.scenarios`; this wrapper executes it
+through the sweep harness and asserts the paper's claims.
 """
 
 from __future__ import annotations
 
-from _common import msg, report, scaled_topo, scenario
-
-from repro.harness import run_synthetic
-from repro.sim.network import Network
-
-
-def _failures(net: Network) -> None:
-    us = 1_000_000
-    cables = net.tree.t0_uplink_cables()
-    net.failures.fail_cable(cables[0], at_ps=100 * us, duration_ps=100 * us)
-    net.failures.fail_cable(cables[1], at_ps=350 * us, duration_ps=200 * us)
-
-
-def _run(lb: str):
-    s = scenario(lb, scaled_topo(), seed=5, failures=_failures,
-                 max_us=20_000_000.0)
-    return run_synthetic(s, "permutation", msg(64))
+from _common import bench_figure, bench_report
 
 
 def test_fig07_transient_failures(benchmark):
-    results = benchmark.pedantic(
-        lambda: {lb: _run(lb) for lb in ("ops", "reps")},
-        rounds=1, iterations=1)
-
-    rows = []
-    stats = {}
-    for lb, res in results.items():
-        m = res.metrics
-        freezes = sum(getattr(r.sender.lb, "stats_freeze_entries", 0)
-                      for r in res.network.flows.values())
-        stats[lb] = m
-        rows.append((lb, round(m.max_fct_us, 1), m.total_drops,
-                     m.retransmissions, freezes))
-    report("fig07", "Fig 7: two transient cable failures "
-           "(paper: REPS >35% faster, ~2.5x fewer drops)",
-           ["lb", "max_fct_us", "drops", "retx", "freeze_entries"], rows)
-
-    assert stats["reps"].max_fct_us < 0.75 * stats["ops"].max_fct_us
-    assert stats["ops"].total_drops >= 2.0 * stats["reps"].total_drops
-    # both workloads recover fully once the failures clear
-    for m in stats.values():
-        assert m.flows_completed == m.flows_total
+    result = benchmark.pedantic(lambda: bench_figure("fig07"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()

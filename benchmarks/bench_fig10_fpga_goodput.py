@@ -1,60 +1,21 @@
-"""Fig. 10 — FPGA testbed goodput, reproduced in simulation.
+"""Fig. 10 — FPGA testbed goodput, reproduced in simulation
+(substitution per DESIGN.md).
 
-Substitution (DESIGN.md): the FPGA testbed (100G NICs, 8 KiB MTU, two T0s
-under a T1 spine, ring AllReduce traffic) is modelled by the simulator at
-the same specs.
+Paper: symmetric networks leave little room; with one degraded spine
+link OPS is capped at ~50% while REPS nears the ideal fair share.
 
-(a) symmetric: REPS ~= OPS ~= ideal share (healthy symmetric networks
-    leave little room; the paper's setup-1 quirks are switch-internal).
-(b) asymmetric (one 400->200G spine link): OPS flows get capped by the
-    slow path at ~50% utilization; REPS reaches within ~5-15% of the
-    ideal fair share.
+The scenario matrix, report table and shape checks are declared in the
+``fig10`` spec of :mod:`repro.scenarios`; this wrapper executes it
+through the sweep harness and asserts the paper's claims.
 """
 
 from __future__ import annotations
 
-from _common import report, scenario
-
-from repro.harness import degrade_cables_hook, run_synthetic
-from repro.sim.topology import TopologyParams
-
-
-def _testbed_topo() -> TopologyParams:
-    # the Sec. 4.4.2 testbed: two T0s with 8 100G endpoints each and "a
-    # total of 4 links to a pair of T1 switches" = 2 x 400G uplinks per
-    # T0 (1:1 bandwidth, 8 KiB MTU)
-    return TopologyParams(n_hosts=16, hosts_per_t0=8, oversubscription=4,
-                          link_gbps=400.0, host_link_gbps=100.0,
-                          mtu_bytes=8192)
-
-
-def _run(lb: str, asymmetric: bool):
-    hook = degrade_cables_hook([0], 200.0) if asymmetric else None
-    s = scenario(lb, _testbed_topo(), seed=7, failures=hook,
-                 max_us=50_000_000.0)
-    return run_synthetic(s, "permutation", 4 << 20)
+from _common import bench_figure, bench_report
 
 
 def test_fig10_fpga_goodput(benchmark):
-    results = benchmark.pedantic(
-        lambda: {(lb, asym): _run(lb, asym)
-                 for lb in ("ops", "reps") for asym in (False, True)},
-        rounds=1, iterations=1)
-
-    goodputs = {k: res.metrics.avg_goodput_gbps
-                for k, res in results.items()}
-    rows = [(lb, "asymmetric" if asym else "symmetric",
-             round(gp, 1)) for (lb, asym), gp in goodputs.items()]
-    report("fig10", "Fig 10: FPGA-testbed goodput (sim substitute; "
-           "100G hosts, ideal share = ~100G sym)",
-           ["lb", "network", "avg_flow_goodput_gbps"], rows)
-
-    # (a) symmetric: both within ~25% of each other, both high
-    sym_ops, sym_reps = goodputs[("ops", False)], goodputs[("reps", False)]
-    assert abs(sym_ops - sym_reps) / sym_reps < 0.25
-    assert sym_reps > 50.0
-    # (b) asymmetric: REPS clearly ahead of OPS
-    asy_ops, asy_reps = goodputs[("ops", True)], goodputs[("reps", True)]
-    assert asy_reps > 1.2 * asy_ops
-    # REPS loses little goodput to the asymmetry; OPS is capped hard
-    assert asy_reps > 0.75 * sym_reps
+    result = benchmark.pedantic(lambda: bench_figure("fig10"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()

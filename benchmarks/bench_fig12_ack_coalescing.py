@@ -1,61 +1,28 @@
 """Fig. 12 — ACK coalescing ratios, healthy and with 5% cable failures.
 
-Paper: without failures, REPS holds its edge over OPS up to 8:1
-coalescing and loses it at 16:1 (~equal, ~230 us); with 5% network
-failures REPS remains ~5x faster even at 16:1.
+Paper: REPS holds its edge up to 8:1 and loses it at 16:1 when
+healthy; with failures it stays ~5x faster even at 16:1.
+
+The scenario matrix, report table and shape checks are declared in the
+``fig12_healthy`` / ``fig12_failures`` specs of :mod:`repro.scenarios`;
+this wrapper executes them through the sweep harness and asserts the
+paper's claims.
 """
 
 from __future__ import annotations
 
-from _common import msg, report, scenario, small_topo
-
-from repro.harness import fail_fraction_hook, run_synthetic
-
-RATIOS = (1, 2, 4, 8, 16)
-
-
-def _run(lb: str, ratio: int, failures: bool):
-    hook = fail_fraction_hook(0.13, 30.0, seed=4) if failures else None
-    s = scenario(lb, small_topo(), seed=5, ack_coalesce=ratio,
-                 failures=hook, max_us=50_000_000.0)
-    return run_synthetic(s, "permutation", msg(8)).metrics
+from _common import bench_figure, bench_report
 
 
 def test_fig12_no_failures(benchmark):
-    data = benchmark.pedantic(
-        lambda: {(lb, r): _run(lb, r, False)
-                 for r in RATIOS for lb in ("ops", "reps")},
-        rounds=1, iterations=1)
-    rows = [[f"{r}:1", round(data[("ops", r)].max_fct_us, 1),
-             round(data[("reps", r)].max_fct_us, 1)] for r in RATIOS]
-    report("fig12_healthy",
-           "Fig 12 (left): ACK coalescing, no failures "
-           "(paper: REPS ahead through 8:1, parity at 16:1)",
-           ["ratio", "ops_max_fct_us", "reps_max_fct_us"], rows)
-
-    for r in (1, 2, 4, 8):
-        assert data[("reps", r)].max_fct_us <= \
-            data[("ops", r)].max_fct_us * 1.05, f"ratio {r}:1"
-    # at 16:1 REPS falls back to roughly OPS behaviour (parity +-15%)
-    assert data[("reps", 16)].max_fct_us <= \
-        data[("ops", 16)].max_fct_us * 1.15
+    result = benchmark.pedantic(lambda: bench_figure("fig12_healthy"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()
 
 
 def test_fig12_with_failures(benchmark):
-    data = benchmark.pedantic(
-        lambda: {(lb, r): _run(lb, r, True)
-                 for r in (1, 4, 16) for lb in ("ops", "reps")},
-        rounds=1, iterations=1)
-    rows = [[f"{r}:1", round(data[("ops", r)].max_fct_us, 1),
-             round(data[("reps", r)].max_fct_us, 1),
-             round(data[("ops", r)].max_fct_us
-                   / data[("reps", r)].max_fct_us, 2)]
-            for r in (1, 4, 16)]
-    report("fig12_failures",
-           "Fig 12 (right): ACK coalescing with 5% failed cables "
-           "(paper: REPS ~5x faster even at 16:1)",
-           ["ratio", "ops_max_fct_us", "reps_max_fct_us", "speedup"], rows)
-
-    for r in (1, 4, 16):
-        assert data[("reps", r)].max_fct_us < \
-            0.8 * data[("ops", r)].max_fct_us, f"ratio {r}:1"
+    result = benchmark.pedantic(lambda: bench_figure("fig12_failures"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()

@@ -1,67 +1,20 @@
 """Fig. 13 — REPS variants for heavy (16:1) ACK coalescing.
 
-Paper: at a 16:1 ACK ratio, the Carry-EVs variant (coalesced ACKs return
-every covered entropy) and the Reuse-EVs variant (each cached entropy is
-good for n sends) recover most of standard REPS's edge across symmetric,
-asymmetric and failure scenarios.
+Paper: the Carry-EVs and Reuse-EVs variants recover most of standard
+REPS's edge across symmetric, asymmetric and failure scenarios.
+
+The scenario matrix, report table and shape checks are declared in the
+``fig13`` spec of :mod:`repro.scenarios`; this wrapper executes it
+through the sweep harness and asserts the paper's claims.
 """
 
 from __future__ import annotations
 
-from _common import msg, report, scenario, small_topo
-
-from repro.harness import (
-    degrade_cables_hook,
-    fail_fraction_hook,
-    run_synthetic,
-)
-from repro.core.reps import RepsConfig
-
-RATIO = 16
-
-SCENARIOS = {
-    "symmetric": None,
-    "asymmetric": degrade_cables_hook([0], 200.0),
-    "failures": fail_fraction_hook(0.13, 30.0, seed=4),
-}
-
-VARIANTS = {
-    "ops": dict(lb="ops"),
-    "reps": dict(lb="reps"),
-    "reps+carry": dict(lb="reps", carry_evs=True),
-    "reps+reuse": dict(lb="reps",
-                       reps=RepsConfig(ev_lifespan=RATIO // 2)),
-}
-
-
-def _run(variant: str, scenario_name: str):
-    kw = dict(VARIANTS[variant])
-    lb = kw.pop("lb")
-    s = scenario(lb, small_topo(), seed=5, ack_coalesce=RATIO,
-                 failures=SCENARIOS[scenario_name],
-                 max_us=50_000_000.0, **kw)
-    return run_synthetic(s, "permutation", msg(8)).metrics
+from _common import bench_figure, bench_report
 
 
 def test_fig13_coalescing_variants(benchmark):
-    data = benchmark.pedantic(
-        lambda: {(v, sc): _run(v, sc)
-                 for sc in SCENARIOS for v in VARIANTS},
-        rounds=1, iterations=1)
-
-    rows = [[sc] + [round(data[(v, sc)].max_fct_us, 1) for v in VARIANTS]
-            for sc in SCENARIOS]
-    report("fig13", "Fig 13: REPS coalescing variants at 16:1 "
-           "(paper: Carry/Reuse EVs are the preferred variants)",
-           ["scenario"] + list(VARIANTS), rows)
-
-    for sc in ("asymmetric", "failures"):
-        base = data[("reps", sc)].max_fct_us
-        ops = data[("ops", sc)].max_fct_us
-        carry = data[("reps+carry", sc)].max_fct_us
-        reuse = data[("reps+reuse", sc)].max_fct_us
-        # the variants at least match plain REPS under coalescing...
-        assert carry <= base * 1.05, sc
-        assert reuse <= base * 1.10, sc
-        # ...and beat OPS where adaptivity matters
-        assert min(carry, reuse) < ops, sc
+    result = benchmark.pedantic(lambda: bench_figure("fig13"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()

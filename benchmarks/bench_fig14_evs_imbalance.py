@@ -1,53 +1,20 @@
 """Fig. 14 — expected EV load imbalance at a 32-uplink switch.
 
-Balls-into-bins sweep of EVS size 2^5..2^16, for 1 and 32 active flows.
-Paper numbers (average imbalance): 1 flow: 2.92 at 2^5 down to 0.05 at
-2^16; 32 flows: 0.35 down to 0.01.  Key thresholds: <2^8 EVs leaves >10%
-imbalance even with 32 flows, while 2^16 guarantees <1-5%.
+Balls-into-bins sweep of EVS size 2^5..2^16 for 1 and 32 flows,
+checked against the paper's reported averages.
+
+The scenario matrix, report table and shape checks are declared in the
+``fig14`` spec of :mod:`repro.scenarios`; this wrapper executes it
+through the sweep harness and asserts the paper's claims.
 """
 
 from __future__ import annotations
 
-from _common import report
-
-from repro.models.imbalance import imbalance_sweep
-
-EXPONENTS = (5, 6, 8, 10, 12, 14, 16)
-
-#: paper-reported averages for the matching exponents (Fig. 14a/b)
-PAPER_1FLOW = {5: 2.92, 6: 1.82, 8: 0.82, 10: 0.37, 12: 0.20,
-               14: 0.10, 16: 0.05}
-PAPER_32FLOW = {5: 0.35, 6: 0.27, 8: 0.13, 10: 0.07, 12: 0.03,
-                14: 0.02, 16: 0.01}
+from _common import bench_figure, bench_report
 
 
 def test_fig14_evs_imbalance(benchmark):
-    def run():
-        one = imbalance_sweep(evs_exponents=EXPONENTS, n_uplinks=32,
-                              n_flows=1, repeats=40, seed=14)
-        many = imbalance_sweep(evs_exponents=EXPONENTS, n_uplinks=32,
-                               n_flows=32, repeats=6, seed=14)
-        return one, many
-
-    one, many = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    rows = []
-    for e, s1, s32 in zip(EXPONENTS, one, many):
-        rows.append((f"2^{e}",
-                     PAPER_1FLOW[e], round(s1.average, 3),
-                     PAPER_32FLOW[e], round(s32.average, 3)))
-    report("fig14", "Fig 14: load imbalance vs EVS size, 32 uplinks "
-           "(paper vs measured)",
-           ["EVS", "paper_1flow", "ours_1flow",
-            "paper_32flow", "ours_32flow"], rows)
-
-    for e, s1, s32 in zip(EXPONENTS, one, many):
-        # within ~2x of the paper's reported average at every point
-        assert 0.4 * PAPER_1FLOW[e] < s1.average < 2.5 * PAPER_1FLOW[e]
-        assert s32.average < s1.average + 1e-9
-    # headline thresholds
-    assert one[EXPONENTS.index(16)].average < 0.10
-    assert many[EXPONENTS.index(8)].average > 0.05
-    # monotone decrease overall
-    avgs = [s.average for s in one]
-    assert avgs[0] > avgs[-1] * 10
+    result = benchmark.pedantic(lambda: bench_figure("fig14"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()

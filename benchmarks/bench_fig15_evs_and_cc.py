@@ -1,62 +1,28 @@
 """Fig. 15 — EVS-size sensitivity and CC-algorithm sensitivity.
 
-(left) 8 MiB permutation with 32 / 256 / 64K EVs: REPS works equally well
-with 256 and 64K EVs and is only ~8% slower with 32; OPS is 21% / 64%
-slower with 256 / 32 EVs vs 64K.
-(right) REPS >= OPS under DCTCP, EQDS and the internal CC alike.
+Paper: REPS works equally well with 256 and 64K EVs (~8% off at
+32); REPS >= OPS under DCTCP, EQDS and the internal CC alike.
+
+The scenario matrix, report table and shape checks are declared in the
+``fig15_evs`` / ``fig15_cc`` specs of :mod:`repro.scenarios`; this
+wrapper executes them through the sweep harness and asserts the paper's
+claims.
 """
 
 from __future__ import annotations
 
-from _common import msg, report, scenario, small_topo
-
-from repro.harness import run_synthetic
-
-EVS_SIZES = (32, 256, 65536)
-CCS = ("dctcp", "eqds", "internal")
-
-
-def _run(lb: str, evs: int = 65536, cc: str = "dctcp"):
-    s = scenario(lb, small_topo(), seed=5, evs_size=evs, cc=cc,
-                 max_us=50_000_000.0)
-    return run_synthetic(s, "permutation", msg(8)).metrics
+from _common import bench_figure, bench_report
 
 
 def test_fig15_evs_sizes(benchmark):
-    data = benchmark.pedantic(
-        lambda: {(lb, evs): _run(lb, evs=evs)
-                 for evs in EVS_SIZES for lb in ("ops", "reps")},
-        rounds=1, iterations=1)
-    rows = [[evs, round(data[("ops", evs)].max_fct_us, 1),
-             round(data[("reps", evs)].max_fct_us, 1)]
-            for evs in EVS_SIZES]
-    report("fig15_evs", "Fig 15 (left): EVS-size sensitivity "
-           "(paper: REPS fine at 256, ~8% off at 32; OPS 21%/64% slower)",
-           ["evs_size", "ops_max_fct_us", "reps_max_fct_us"], rows)
-
-    reps64k = data[("reps", 65536)].max_fct_us
-    ops64k = data[("ops", 65536)].max_fct_us
-    # REPS with 256 EVs ~ REPS with 64K EVs
-    assert data[("reps", 256)].max_fct_us <= reps64k * 1.10
-    # REPS with only 32 EVs stays within ~15%
-    assert data[("reps", 32)].max_fct_us <= reps64k * 1.20
-    # OPS degrades much more with a tiny EVS
-    assert data[("ops", 32)].max_fct_us > ops64k * 1.25
-    # headline: REPS@32 EVs performs like OPS@64K
-    assert data[("reps", 32)].max_fct_us <= ops64k * 1.10
+    result = benchmark.pedantic(lambda: bench_figure("fig15_evs"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()
 
 
 def test_fig15_cc_algorithms(benchmark):
-    data = benchmark.pedantic(
-        lambda: {(lb, cc): _run(lb, cc=cc)
-                 for cc in CCS for lb in ("ops", "reps")},
-        rounds=1, iterations=1)
-    rows = [[cc, round(data[("ops", cc)].max_fct_us, 1),
-             round(data[("reps", cc)].max_fct_us, 1)] for cc in CCS]
-    report("fig15_cc", "Fig 15 (right): CC sensitivity "
-           "(paper: REPS superior under every CC)",
-           ["cc", "ops_max_fct_us", "reps_max_fct_us"], rows)
-
-    for cc in CCS:
-        assert data[("reps", cc)].max_fct_us <= \
-            data[("ops", cc)].max_fct_us * 1.05, cc
+    result = benchmark.pedantic(lambda: bench_figure("fig15_cc"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()

@@ -1,81 +1,20 @@
 """Fig. 16 — topology scaling x EVS size (tornado).
 
-Paper: from 128 to 8192 nodes, REPS holds near-ideal completion for all
-EVS sizes down to 64 (slight regression at 16); OPS runs up to 2.4x
-slower with 16 EVs and trends upward with topology size.
+Paper: REPS's EVS requirement does not grow with the topology while
+OPS's does (up to 2.4x slower with 16 EVs).
 
-Scaled substitution: the Python simulator sweeps 16..64 hosts (with
-uplink counts growing alongside) rather than 128..8192; the claim under
-test — REPS's EVS requirement does not grow with the topology while
-OPS's does — is preserved.
+The scenario matrix, report table and shape checks are declared in the
+``fig16`` spec of :mod:`repro.scenarios`; this wrapper executes it
+through the sweep harness and asserts the paper's claims.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence
-
-from _common import msg, report, run_matrix, sweep_task
-
-from repro.harness import WorkloadSpec
-from repro.sim.topology import TopologyParams
-
-TOPOS = {
-    16: TopologyParams(n_hosts=16, hosts_per_t0=8),
-    32: TopologyParams(n_hosts=32, hosts_per_t0=8),
-    64: TopologyParams(n_hosts=64, hosts_per_t0=16),
-}
-EVS_SIZES = (16, 64, 65536)
-
-
-def run_scaling_matrix(
-    topos: Mapping[int, TopologyParams] = TOPOS,
-    evs_sizes: Sequence[int] = EVS_SIZES,
-    lbs: Sequence[str] = ("ops", "reps"),
-    msg_bytes: Optional[int] = None,
-    workers: Optional[int] = None,
-    name: str = "fig16",
-) -> Dict[tuple, object]:
-    """The figure's (lb, hosts, evs) matrix through the sweep harness.
-
-    Parameterized so the tier-1 smoke test can run a tiny instance of
-    the exact same wiring.  Returns ``(lb, n_hosts, evs) ->
-    TaskResult``.
-    """
-    workload = WorkloadSpec(kind="synthetic", pattern="tornado",
-                            msg_bytes=msg_bytes or msg(8))
-    tasks = {(lb, n, evs): sweep_task(lb, topo, workload, seed=5,
-                                      evs_size=evs, max_us=50_000_000.0)
-             for n, topo in topos.items() for evs in evs_sizes
-             for lb in lbs}
-    return run_matrix(name, tasks, workers=workers)
+from _common import bench_figure, bench_report
 
 
 def test_fig16_topology_scaling(benchmark):
-    results = benchmark.pedantic(run_scaling_matrix, rounds=1,
-                                 iterations=1)
-    # value() restores JSON null back to inf for runs that starved out
-    data = {key: {"max_fct_us": res.value("max_fct_us")}
-            for key, res in results.items()}
-
-    rows = []
-    for n in TOPOS:
-        for evs in EVS_SIZES:
-            rows.append([n, evs,
-                         round(data[("ops", n, evs)]["max_fct_us"], 1),
-                         round(data[("reps", n, evs)]["max_fct_us"], 1)])
-    report("fig16", "Fig 16: topology scaling x EVS size "
-           "(paper: REPS flat; OPS needs a large EVS, worsens with size)",
-           ["hosts", "evs_size", "ops_max_fct_us", "reps_max_fct_us"],
-           rows)
-
-    for n in TOPOS:
-        reps_full = data[("reps", n, 65536)]["max_fct_us"]
-        # REPS with 64 EVs ~ full EVS at every scale
-        assert data[("reps", n, 64)]["max_fct_us"] <= reps_full * 1.15, n
-        # REPS with 64 EVs beats OPS with the full 16-bit EVS (headline)
-        assert data[("reps", n, 64)]["max_fct_us"] <= \
-            data[("ops", n, 65536)]["max_fct_us"] * 1.05, n
-    # OPS with 16 EVs degrades well beyond OPS with 64K at the largest
-    n = max(TOPOS)
-    assert data[("ops", n, 16)]["max_fct_us"] > \
-        1.3 * data[("ops", n, 65536)]["max_fct_us"]
+    result = benchmark.pedantic(lambda: bench_figure("fig16"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()

@@ -1,40 +1,20 @@
 """Fig. 17 — batched balls-into-bins at lambda = 0.99, 1000 rounds.
 
-Paper: the average max queue grows over the run, and grows *faster* with
-more output ports (4 -> 128 ports sweep) — oblivious spraying builds
-unbounded queues at high injection rates.
+Paper: the average max queue grows over the run, faster with more
+output ports — oblivious spraying builds unbounded queues.
+
+The scenario matrix, report table and shape checks are declared in the
+``fig17`` spec of :mod:`repro.scenarios`; this wrapper executes it
+through the sweep harness and asserts the paper's claims.
 """
 
 from __future__ import annotations
 
-from _common import report
-
-from repro.models.balls_bins import average_max_load_curve
-
-PORTS = (4, 8, 16, 32, 64, 128)
-ROUNDS = 1000
+from _common import bench_figure, bench_report
 
 
 def test_fig17_balls_into_bins(benchmark):
-    curves = benchmark.pedantic(
-        lambda: {n: average_max_load_curve(n, ROUNDS, lam=0.99,
-                                           repeats=3, seed=17)
-                 for n in PORTS},
-        rounds=1, iterations=1)
-
-    rows = []
-    for n, curve in curves.items():
-        rows.append((n, round(curve[99], 1), round(curve[499], 1),
-                     round(curve[-1], 1)))
-    report("fig17", "Fig 17: batched balls-into-bins, lam=0.99 "
-           "(paper: queues grow; more ports grow faster)",
-           ["ports", "round_100", "round_500", "round_1000"], rows)
-
-    for n, curve in curves.items():
-        # queues grow over the run
-        assert curve[-1] > curve[99]
-    # overall trend: more ports -> larger final max queue (adjacent
-    # points may jitter at 3 repeats; the endpoints must not)
-    finals = [curves[n][-1] for n in PORTS]
-    assert finals[-1] > 2 * finals[0]
-    assert max(finals[-2:]) >= max(finals[:2])
+    result = benchmark.pedantic(lambda: bench_figure("fig17"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()

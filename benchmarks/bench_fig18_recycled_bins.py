@@ -1,44 +1,20 @@
 """Fig. 18 — recycled vs oblivious balls-into-bins, n = 5.
 
-Paper: over 200 rounds OPS's max queue keeps growing (unbounded), while
-the recycled model converges and keeps all queues at/below the threshold
-tau — the theoretical core of REPS (Theorem 5.1).
+Paper: OPS's max queue keeps growing while the recycled model
+converges to tau — the theoretical core of REPS (Theorem 5.1).
+
+The scenario matrix, report table and shape checks are declared in the
+``fig18`` spec of :mod:`repro.scenarios`; this wrapper executes it
+through the sweep harness and asserts the paper's claims.
 """
 
 from __future__ import annotations
 
-import random
-
-from _common import report
-
-from repro.models.balls_bins import batched_balls_into_bins
-from repro.models.recycled import RecycledParams, recycled_balls_into_bins
-
-N, TAU, B = 5, 8, 4
-ROUNDS = 2000  # paper plots 200; the longer run shows full convergence
+from _common import bench_figure, bench_report
 
 
 def test_fig18_recycled_vs_ops(benchmark):
-    def run():
-        ops = batched_balls_into_bins(N, ROUNDS, lam=1.0,
-                                      rng=random.Random(18))
-        rec = recycled_balls_into_bins(
-            RecycledParams(n_bins=N, tau=TAU, b=B), ROUNDS,
-            rng=random.Random(18))
-        return ops, rec
-
-    ops, rec = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    checkpoints = (49, 99, 199, 499, ROUNDS - 1)
-    rows = [(r + 1, ops.max_load[r], rec.max_load[r])
-            for r in checkpoints]
-    report("fig18", f"Fig 18: balls-into-bins n={N}, tau={TAU} "
-           "(paper: OPS unbounded, recycled <= tau)",
-           ["round", "ops_max_queue", "recycled_max_queue"], rows)
-
-    # OPS diverges...
-    assert ops.max_load[-1] > ops.max_load[99]
-    assert ops.max_load[-1] > 2 * TAU
-    # ...recycling converges to tau and stays there
-    assert max(rec.max_load[-100:]) <= TAU + 1
-    assert rec.remembered_fraction[-1] == 1.0
+    result = benchmark.pedantic(lambda: bench_figure("fig18"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()

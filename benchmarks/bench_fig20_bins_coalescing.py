@@ -1,54 +1,20 @@
 """Fig. 20 (Appendix C.1) — recycled balls-into-bins with coalescing.
 
-Paper: recycling every 2nd/4th ACK barely exceeds tau; an 8:1 ratio is
-worse but still clearly better than OPS over 2000 rounds.
+Paper: recycling every 2nd/4th ACK barely exceeds tau; 8:1 is worse
+but still clearly better than OPS.
+
+The scenario matrix, report table and shape checks are declared in the
+``fig20`` spec of :mod:`repro.scenarios`; this wrapper executes it
+through the sweep harness and asserts the paper's claims.
 """
 
 from __future__ import annotations
 
-import random
-
-from _common import report
-
-from repro.models.balls_bins import batched_balls_into_bins
-from repro.models.recycled import RecycledParams, recycled_balls_into_bins
-
-N, TAU, B = 8, 10, 6
-ROUNDS = 2000
-RATIOS = (2, 4, 8)
+from _common import bench_figure, bench_report
 
 
 def test_fig20_bins_coalescing(benchmark):
-    def run():
-        out = {}
-        for k in RATIOS:
-            out[k] = recycled_balls_into_bins(
-                RecycledParams(n_bins=N, tau=TAU, b=B, coalesce=k),
-                ROUNDS, rng=random.Random(20))
-        out["ops"] = batched_balls_into_bins(N, ROUNDS, lam=1.0,
-                                             rng=random.Random(20))
-        return out
-
-    data = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    def tail_avg(trace):
-        return sum(trace.max_load[-300:]) / 300
-
-    rows = [(f"recycle 1/{k}", round(tail_avg(data[k]), 1),
-             max(data[k].max_load[-300:])) for k in RATIOS]
-    rows.append(("OPS", round(tail_avg(data["ops"]), 1),
-                 max(data["ops"].max_load[-300:])))
-    report("fig20", f"Fig 20: recycled bins under ACK coalescing "
-           f"(n={N}, tau={TAU})",
-           ["model", "tail_avg_max_queue", "tail_peak"], rows,
-           notes=[f"tau = {TAU}"])
-
-    # 2:1 and 4:1 stay far below the OPS queue level
-    assert tail_avg(data[2]) < 0.35 * tail_avg(data["ops"])
-    assert tail_avg(data[4]) < 0.5 * tail_avg(data["ops"])
-    # 8:1 degrades but still clearly beats OPS (paper: "still slightly
-    # more advantageous than OPS")
-    assert tail_avg(data[8]) < 0.6 * tail_avg(data["ops"])
-    # monotone degradation with the coalescing ratio
-    assert tail_avg(data[2]) <= tail_avg(data[4]) + 1e-9
-    assert tail_avg(data[4]) <= tail_avg(data[8]) + 1e-9
+    result = benchmark.pedantic(lambda: bench_figure("fig20"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()

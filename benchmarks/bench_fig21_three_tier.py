@@ -2,44 +2,19 @@
 
 Paper: REPS performs comparably to the 2-tier topology — a single EV
 steering two up-hops poses no intrinsic problem.
+
+The scenario matrix, report table and shape checks are declared in the
+``fig21`` spec of :mod:`repro.scenarios`; this wrapper executes it
+through the sweep harness and asserts the paper's claims.
 """
 
 from __future__ import annotations
 
-from _common import ALL_LBS, msg, report, scenario
-
-from repro.harness import run_synthetic
-from repro.sim.topology import TopologyParams
-
-THREE_TIER = TopologyParams(n_hosts=32, hosts_per_t0=4, tiers=3,
-                            oversubscription=2, t0s_per_pod=2,
-                            t2s_per_t1=2)
+from _common import bench_figure, bench_report
 
 
 def test_fig21_three_tier(benchmark):
-    def run():
-        out = {}
-        for pattern in ("permutation", "tornado"):
-            for lb in ALL_LBS:
-                s = scenario(lb, THREE_TIER, seed=5, max_us=50_000_000.0)
-                res = run_synthetic(s, pattern, msg(8))
-                out[(pattern, lb)] = res.metrics
-        return out
-
-    data = benchmark.pedantic(run, rounds=1, iterations=1)
-    rows = []
-    for pattern in ("permutation", "tornado"):
-        base = data[(pattern, "ecmp")].max_fct_us
-        rows.append([f"{pattern} 8MiB"] +
-                    [round(base / data[(pattern, lb)].max_fct_us, 2)
-                     for lb in ALL_LBS])
-    report("fig21", "Fig 21: 3-tier fat tree, speedup vs ECMP "
-           "(paper: comparable to the 2-tier results)",
-           ["workload"] + ALL_LBS, rows)
-
-    for pattern in ("permutation", "tornado"):
-        vals = {lb: data[(pattern, lb)].max_fct_us for lb in ALL_LBS}
-        assert vals["reps"] < vals["ecmp"], pattern
-        assert vals["reps"] <= vals["ops"] * 1.05, pattern
-        assert data[(pattern, "reps")].flows_completed == \
-            data[(pattern, "reps")].flows_total
+    result = benchmark.pedantic(lambda: bench_figure("fig21"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()

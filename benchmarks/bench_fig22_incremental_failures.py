@@ -1,62 +1,20 @@
 """Fig. 22 (Appendix C.3) — incremental persistent uplink failures.
 
-All but one of a ToR's uplinks die in 200 us steps.  Paper: REPS enters
-freezing at the first failure, probes occasionally (tiny spikes on the
-dead ports), and rides the surviving link; OPS collapses to ~40x slower
-under continuous timeouts and retransmissions.
+All but one of a ToR's uplinks die in 200 us steps.  Paper: REPS
+freezes and rides the surviving link; OPS collapses to ~40x slower.
+
+The scenario matrix, report table and shape checks are declared in the
+``fig22`` spec of :mod:`repro.scenarios`; this wrapper executes it
+through the sweep harness and asserts the paper's claims.
 """
 
 from __future__ import annotations
 
-from _common import msg, report, scenario
-
-from repro.harness import run_synthetic
-from repro.sim.network import Network
-from repro.sim.topology import TopologyParams
-
-#: a small ToR with 4 uplinks so "fail all but one" is one experiment
-TOPO = TopologyParams(n_hosts=8, hosts_per_t0=4)
-
-
-def _failures(net: Network) -> None:
-    us = 1_000_000
-    t0_name = net.tree.t0s[0].name
-    uplinks = [c for c in net.tree.t0_uplink_cables()
-               if c.name.startswith(f"{t0_name}<->")]
-    # fail all but the last uplink, staggered by 200 us
-    for i, cable in enumerate(uplinks[:-1]):
-        net.failures.fail_cable(cable, at_ps=(100 + 200 * i) * us)
-
-
-def _run(lb: str):
-    s = scenario(lb, TOPO, seed=5, failures=_failures,
-                 max_us=200_000_000.0)
-    return run_synthetic(s, "permutation", msg(32))
+from _common import bench_figure, bench_report
 
 
 def test_fig22_incremental_failures(benchmark):
-    results = benchmark.pedantic(
-        lambda: {lb: _run(lb) for lb in ("ops", "reps")},
-        rounds=1, iterations=1)
-
-    rows = []
-    for lb, res in results.items():
-        m = res.metrics
-        freezes = sum(getattr(r.sender.lb, "stats_freeze_entries", 0)
-                      for r in res.network.flows.values())
-        rows.append((lb, round(m.max_fct_us, 1), m.total_drops,
-                     m.retransmissions, freezes))
-    report("fig22", "Fig 22: incremental persistent failures, 3 of 4 "
-           "uplinks die (paper: OPS ~40x worse)",
-           ["lb", "max_fct_us", "drops", "retx", "freeze_entries"], rows)
-
-    ops = results["ops"].metrics
-    reps = results["reps"].metrics
-    assert reps.flows_completed == reps.flows_total
-    # a dramatic win — the paper reports ~40x; require >3x at our scale
-    assert ops.max_fct_us > 3.0 * reps.max_fct_us
-    assert ops.total_drops > 2.0 * reps.total_drops
-    # freezing engaged, and REPS kept probing (frozen reuse happened)
-    freezes = sum(getattr(r.sender.lb, "stats_freeze_entries", 0)
-                  for r in results["reps"].network.flows.values())
-    assert freezes > 0
+    result = benchmark.pedantic(lambda: bench_figure("fig22"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()

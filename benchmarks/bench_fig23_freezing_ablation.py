@@ -1,63 +1,20 @@
 """Fig. 23 (Appendix C.4) — the freezing-mode ablation.
 
-Three scenarios x {REPS, REPS-without-freezing, OPS}.  Paper: without
-failures the two REPS variants are identical; with 1% cable failures
-freezing is worth ~25%, and REPS stays competitive even without it.
+Paper: without failures the REPS variants are identical; with 1%
+cable failures freezing is worth ~25%.
+
+The scenario matrix, report table and shape checks are declared in the
+``fig23`` spec of :mod:`repro.scenarios`; this wrapper executes it
+through the sweep harness and asserts the paper's claims.
 """
 
 from __future__ import annotations
 
-from _common import msg, report, scenario, small_topo
-
-from repro.core.reps import RepsConfig
-from repro.harness import (
-    degrade_cables_hook,
-    fail_fraction_hook,
-    run_synthetic,
-)
-
-SCENARIOS = {
-    "symmetric": None,
-    "asymmetric": degrade_cables_hook([0], 200.0),
-    "failures": fail_fraction_hook(0.13, 30.0, seed=4),
-}
-
-VARIANTS = {
-    "reps": None,
-    "reps_no_freezing": RepsConfig(freezing_enabled=False),
-}
-
-
-def _run(lb: str, sc: str, reps_cfg=None):
-    s = scenario(lb, small_topo(), seed=5, reps=reps_cfg,
-                 failures=SCENARIOS[sc], max_us=50_000_000.0)
-    return run_synthetic(s, "permutation", msg(8)).metrics
+from _common import bench_figure, bench_report
 
 
 def test_fig23_freezing_ablation(benchmark):
-    def run():
-        out = {}
-        for sc in SCENARIOS:
-            out[("reps", sc)] = _run("reps", sc)
-            out[("reps_no_freezing", sc)] = _run(
-                "reps", sc, VARIANTS["reps_no_freezing"])
-            out[("ops", sc)] = _run("ops", sc)
-        return out
-
-    data = benchmark.pedantic(run, rounds=1, iterations=1)
-    variants = ("reps", "reps_no_freezing", "ops")
-    rows = [[sc] + [round(data[(v, sc)].max_fct_us, 1) for v in variants]
-            for sc in SCENARIOS]
-    report("fig23", "Fig 23: freezing-mode ablation "
-           "(paper: ~25% gain under failures, none needed otherwise)",
-           ["scenario"] + list(variants), rows)
-
-    # no failures: freezing changes nothing measurable
-    for sc in ("symmetric", "asymmetric"):
-        a = data[("reps", sc)].max_fct_us
-        b = data[("reps_no_freezing", sc)].max_fct_us
-        assert abs(a - b) / a < 0.10, sc
-    # failures: freezing helps; no-freezing REPS still beats OPS
-    f = {v: data[(v, "failures")].max_fct_us for v in variants}
-    assert f["reps"] <= f["reps_no_freezing"] * 1.05
-    assert f["reps_no_freezing"] < f["ops"]
+    result = benchmark.pedantic(lambda: bench_figure("fig23"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()

@@ -1,57 +1,20 @@
 """Fig. 24 (Appendix D) — flow-size CDFs of the datacenter traces.
 
-Paper: the WebSearch distribution has mostly sub-100 KB flows with a
-multi-MB tail; the Facebook distribution is dominated by far smaller
-flows.  The bench regenerates both CDFs from the samplers and checks
-their relative placement.
+Paper: WebSearch is mostly sub-100 KB flows with a multi-MB tail;
+Facebook is dominated by far smaller flows.
+
+The scenario matrix, report table and shape checks are declared in the
+``fig24`` spec of :mod:`repro.scenarios`; this wrapper executes it
+through the sweep harness and asserts the paper's claims.
 """
 
 from __future__ import annotations
 
-import random
-
-from _common import report
-
-from repro.workloads.traces import (
-    FACEBOOK_CDF,
-    WEBSEARCH_CDF,
-    empirical_cdf,
-    sample_flow_size,
-)
-
-SAMPLES = 20_000
-PROBES = (0.25, 0.5, 0.75, 0.9, 0.99)
-
-
-def _quantiles(cdf_def):
-    rng = random.Random(24)
-    sizes = sorted(sample_flow_size(cdf_def, rng)
-                   for _ in range(SAMPLES))
-    return {p: sizes[int(p * (SAMPLES - 1))] for p in PROBES}
+from _common import bench_figure, bench_report
 
 
 def test_fig24_trace_cdfs(benchmark):
-    data = benchmark.pedantic(
-        lambda: {"websearch": _quantiles(WEBSEARCH_CDF),
-                 "facebook": _quantiles(FACEBOOK_CDF)},
-        rounds=1, iterations=1)
-
-    rows = [[f"p{int(p * 100)}",
-             data["facebook"][p], data["websearch"][p]]
-            for p in PROBES]
-    report("fig24", "Fig 24: trace flow-size quantiles (bytes)",
-           ["quantile", "facebook", "websearch"], rows)
-
-    ws, fb = data["websearch"], data["facebook"]
-    # WebSearch: most flows < 100 KB, tail in the MBs
-    assert ws[0.5] < 100_000
-    assert ws[0.99] > 1_000_000
-    # Facebook flows sit left of WebSearch at every quantile
-    for p in PROBES:
-        assert fb[p] <= ws[p]
-    # the empirical CDF helper reproduces a monotone curve
-    rng = random.Random(7)
-    pts = empirical_cdf([sample_flow_size(WEBSEARCH_CDF, rng)
-                         for _ in range(500)])
-    probs = [q for _, q in pts]
-    assert probs == sorted(probs) and probs[-1] == 1.0
+    result = benchmark.pedantic(lambda: bench_figure("fig24"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()

@@ -1,53 +1,20 @@
 """Table 1 — per-connection memory footprint of REPS.
 
-Recomputed from the live configuration: 74 bits (~10 B) with a 1-element
-buffer, 193 bits (~25 B) with the default 8-element buffer.  The sweep
-also shows the Sec. 3.3 note that a small EVS saves a byte per element,
-and contrasts with the BitMap baseline's 64 Kib-per-connection cost.
+Recomputed from the live configuration: 74 bits (~10 B) with a
+1-element buffer, 193 bits (~25 B) with the default 8 elements.
+
+The scenario matrix, report table and shape checks are declared in the
+``table1`` spec of :mod:`repro.scenarios`; this wrapper executes it
+through the sweep harness and asserts the paper's claims.
 """
 
 from __future__ import annotations
 
-from _common import report
-
-from repro.core.footprint import compute_footprint
-from repro.core.reps import RepsConfig
-
-#: Table 1 reference values: buffer elements -> (bits, bytes)
-PAPER = {1: (74, 10), 8: (193, 25)}
+from _common import bench_figure, bench_report
 
 
 def test_table1_footprint(benchmark):
-    def run():
-        out = {}
-        for elements in (1, 2, 4, 8, 16):
-            out[elements] = compute_footprint(
-                RepsConfig(buffer_size=elements))
-        return out
-
-    footprints = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    rows = []
-    for elements, fp in footprints.items():
-        paper_bits, paper_bytes = PAPER.get(elements, ("-", "-"))
-        rows.append((elements, paper_bits, fp.total_bits,
-                     paper_bytes, fp.total_bytes))
-    bitmap_bits = 65536  # 1 bit per EV for a 16-bit EVS (Sec. 3.3)
-    report("table1", "Table 1: REPS per-connection footprint "
-           "(paper vs recomputed)",
-           ["buffer_elems", "paper_bits", "ours_bits",
-            "paper_bytes", "ours_bytes"], rows,
-           notes=[f"BitMap strawman: {bitmap_bits} bits/connection "
-                  f"(= {bitmap_bits // 8 // 1024} KiB); "
-                  "MPTCP: 368 extra bytes for 8 subflows [45]"])
-
-    assert footprints[1].total_bits == 74
-    assert footprints[1].total_bytes == 10
-    assert footprints[8].total_bits == 193
-    assert footprints[8].total_bytes == 25
-    # small EVS shaves a byte per element (Sec. 3.3)
-    small = compute_footprint(RepsConfig(evs_size=256))
-    assert compute_footprint(RepsConfig()).total_bits - small.total_bits \
-        == 8 * 8
-    # REPS is orders of magnitude below per-EV state
-    assert footprints[8].total_bits * 100 < bitmap_bits
+    result = benchmark.pedantic(lambda: bench_figure("table1"),
+                                rounds=1, iterations=1)
+    bench_report(result)
+    result.check()

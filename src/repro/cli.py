@@ -1,11 +1,14 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Four subcommands cover the common interactive uses:
+Five subcommands cover the common interactive uses:
 
 - ``run``: one simulation (pattern x load balancer) with a metrics line,
 - ``compare``: the same workload under several load balancers,
 - ``sweep``: a parallel lb x seed x workload campaign with cached
   results and across-seed aggregation,
+- ``figures``: the declarative paper-figure registry — ``list`` the
+  catalogue or ``run`` any figure's whole matrix through the sweep
+  harness (parallel workers, cached artifacts, paper-shape checks),
 - ``footprint``: print the Table-1 memory accounting.
 
 Examples::
@@ -14,6 +17,8 @@ Examples::
     python -m repro compare --lbs ecmp,ops,reps --pattern permutation
     python -m repro sweep --lbs ecmp,ops,reps --pattern tornado \\
         --seeds 1,2,3,4 --workers 4 --name tornado-demo
+    python -m repro figures list
+    python -m repro figures run fig07 fig08_permutation --workers 4
     python -m repro run --lb reps --fail-uplink 0 --fail-at 50 --fail-for 200
     python -m repro footprint --buffer 8 --evs 65536
 """
@@ -116,6 +121,31 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="artifact store root")
     sw_p.add_argument("--fresh", action="store_true",
                       help="ignore and overwrite cached task results")
+
+    fig_p = sub.add_parser(
+        "figures", help="the declarative paper-figure registry")
+    fig_sub = fig_p.add_subparsers(dest="figures_command", required=True)
+    fig_sub.add_parser("list", help="enumerate the registered figures")
+    fr_p = fig_sub.add_parser(
+        "run", help="run figures through the sweep harness")
+    fr_p.add_argument("ids", nargs="+", metavar="FIG_ID",
+                      help="figure ids (see `repro figures list`)")
+    fr_p.add_argument("--workers", type=int, default=None,
+                      help="worker processes (default: "
+                           "$REPRO_BENCH_WORKERS or 1)")
+    fr_p.add_argument("--results-dir",
+                      default=os.path.join("benchmarks", "results",
+                                           "sweeps"),
+                      help="artifact store root (one subdir per figure)")
+    fr_p.add_argument("--fresh", action="store_true",
+                      help="ignore and overwrite cached task results")
+    fr_p.add_argument("--no-cache", action="store_true",
+                      help="run without any artifact store")
+    fr_p.add_argument("--no-check", action="store_true",
+                      help="skip the paper-shape assertions")
+    fr_p.add_argument("--prune", action="store_true",
+                      help="drop store artifacts not part of this "
+                           "figure's current matrix")
 
     fp_p = sub.add_parser("footprint", help="Table-1 memory accounting")
     fp_p.add_argument("--buffer", type=int, default=8)
@@ -224,6 +254,69 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if not incomplete else 1
 
 
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .harness.sweep import task_key
+    from .scenarios import figure_ids, get_figure, run_figure
+
+    if args.figures_command == "list":
+        rows = []
+        for fig_id in figure_ids():
+            spec = get_figure(fig_id)
+            rows.append((fig_id, spec.figure, len(spec.build()),
+                         spec.title))
+        print(format_table("figure registry (`repro figures run <id>`)",
+                           ["id", "paper", "tasks", "title"], rows))
+        return 0
+
+    workers = args.workers
+    if workers is None:
+        # resolved here, not at parser build, so a malformed env var
+        # cannot break unrelated subcommands
+        raw = os.environ.get("REPRO_BENCH_WORKERS", "1") or "1"
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise SystemExit(
+                f"repro figures: REPRO_BENCH_WORKERS must be an "
+                f"integer, got {raw!r}")
+    # resolve every id up front: a typo in the last id must not cost
+    # the minutes the earlier figures take to simulate
+    try:
+        specs = [(fig_id, get_figure(fig_id)) for fig_id in args.ids]
+    except KeyError as exc:
+        raise SystemExit(f"repro figures: {exc.args[0]}")
+    ok = True
+    for fig_id, spec in specs:
+        if args.no_cache:
+            store = None
+        else:
+            store_cls = _FreshStore if args.fresh else ResultStore
+            store = store_cls(os.path.join(args.results_dir, fig_id))
+        result = run_figure(spec, workers=workers, store=store,
+                            progress=True)
+        headers, rows, notes = result.table_doc()
+        print(format_table(spec.title, headers, rows))
+        for note in notes:
+            print(note)
+        print(f"tasks: {len(result.sweep)} total, "
+              f"{result.sweep.executed} executed, "
+              f"{result.sweep.cached} from cache")
+        if args.prune and store is not None:
+            keys = [task_key(t) for t in result.tasks.values()]
+            removed = store.prune(keep=keys)
+            print(f"pruned {len(removed)} stale artifact(s)")
+        if not args.no_check and spec.check is not None:
+            try:
+                result.check()
+            except AssertionError as exc:
+                detail = f": {exc}" if str(exc) else ""
+                print(f"[DIVERGES] {fig_id} shape check failed{detail}")
+                ok = False
+            else:
+                print(f"[OK ] {fig_id} paper-shape checks hold")
+    return 0 if ok else 1
+
+
 def _cmd_footprint(args: argparse.Namespace) -> int:
     cfg = RepsConfig(buffer_size=args.buffer, evs_size=args.evs,
                      ev_lifespan=args.lifespan)
@@ -241,6 +334,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
+        "figures": _cmd_figures,
         "footprint": _cmd_footprint,
     }
     return handlers[args.command](args)

@@ -11,21 +11,26 @@ from .report import (
     shape_note,
     speedups,
 )
+from .model_tasks import MODEL_RUNNERS, run_model
 from .runner import (
+    RESULT_PROBES,
     Scenario,
     ScenarioResult,
     ber_hook,
     degrade_cables_hook,
     degrade_fraction_hook,
+    fail_cable_schedule_hook,
     fail_cables_hook,
     fail_fraction_hook,
+    fail_tor_uplinks_hook,
+    force_freeze_hook,
     run_collective,
     run_lb_matrix,
     run_mixed_traffic,
     run_synthetic,
     run_trace,
 )
-from .scale import FULL, QUICK, Scale, current_scale
+from .scale import FULL, QUICK, SMOKE, Scale, current_scale
 from .sweep import (
     FailureSpec,
     ResultStore,
@@ -35,8 +40,10 @@ from .sweep import (
     TaskResult,
     WorkloadSpec,
     execute_task,
+    make_model_task,
     make_task,
     run_sweep,
+    simulator_version,
     spawn_seeds,
     task_key,
 )
@@ -44,14 +51,18 @@ from .sweep import (
 __all__ = [
     "Scenario", "ScenarioResult", "run_synthetic", "run_trace",
     "run_collective", "run_mixed_traffic", "run_lb_matrix",
-    "fail_cables_hook", "fail_fraction_hook", "degrade_cables_hook",
-    "degrade_fraction_hook", "ber_hook",
-    "Scale", "QUICK", "FULL", "current_scale",
+    "fail_cables_hook", "fail_cable_schedule_hook",
+    "fail_tor_uplinks_hook", "fail_fraction_hook",
+    "degrade_cables_hook", "degrade_fraction_hook", "ber_hook",
+    "force_freeze_hook", "RESULT_PROBES",
+    "MODEL_RUNNERS", "run_model",
+    "Scale", "SMOKE", "QUICK", "FULL", "current_scale",
     "format_table", "print_table", "print_shape", "shape_note",
     "speedups", "cdf_points", "format_sweep_table",
     "hbar", "render_port_series", "sparkline",
     "Aggregate", "compare", "repeat",
     "SweepGrid", "SweepTask", "SweepResults", "TaskResult",
     "WorkloadSpec", "FailureSpec", "ResultStore",
-    "make_task", "task_key", "run_sweep", "spawn_seeds", "execute_task",
+    "make_task", "make_model_task", "task_key", "run_sweep",
+    "spawn_seeds", "execute_task", "simulator_version",
 ]

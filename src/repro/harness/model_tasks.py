@@ -1,0 +1,143 @@
+"""Analytical-model task runners for the sweep harness.
+
+The paper's non-simulation figures (balls-into-bins traces, the EVS
+imbalance model, trace flow-size CDFs, the Table-1 footprint) used to
+run as ad-hoc loops inside their benchmarks.  Here each model is a named
+runner so a :class:`~repro.harness.sweep.WorkloadSpec` of
+``kind="model"`` executes through the same grid -> pool -> artifact
+pipeline as the simulator figures: deterministic given ``(params,
+seed)``, picklable, and returning plain scalar outputs that serialize
+into the JSON store.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Mapping, Sequence
+
+from ..core.footprint import compute_footprint
+from ..core.reps import RepsConfig
+from ..models.balls_bins import (
+    BinsTrace,
+    average_max_load_curve,
+    batched_balls_into_bins,
+)
+from ..models.imbalance import load_imbalance
+from ..models.recycled import RecycledParams, recycled_balls_into_bins
+from ..workloads.traces import FACEBOOK_CDF, WEBSEARCH_CDF, sample_flow_size
+
+
+def _trace_outputs(trace: BinsTrace, checkpoints: Sequence[int],
+                   tail: int) -> Dict[str, float]:
+    """Round checkpoints plus trailing-window stats of a bins trace."""
+    out: Dict[str, float] = {}
+    for c in checkpoints:
+        out[f"round_{int(c)}"] = float(trace.max_load[int(c) - 1])
+    window = trace.max_load[-int(tail):] if tail else trace.max_load
+    if window:
+        out["tail_avg"] = sum(window) / len(window)
+        out["tail_peak"] = float(max(window))
+    return out
+
+
+def _run_imbalance(params: Mapping[str, object],
+                   seed: int) -> Dict[str, float]:
+    """Fig. 14: expected EV load imbalance at one (EVS, flows) point."""
+    stats = load_imbalance(
+        evs_size=1 << int(params["evs_exponent"]),
+        n_uplinks=int(params.get("n_uplinks", 32)),
+        n_flows=int(params.get("n_flows", 1)),
+        repeats=int(params.get("repeats", 50)),
+        seed=seed,
+    )
+    return {"average": stats.average,
+            "p97_5": stats.p97_5}
+
+
+def _run_balls_bins_curve(params: Mapping[str, object],
+                          seed: int) -> Dict[str, float]:
+    """Fig. 17: repeat-averaged max-load trajectory of the OPS model."""
+    rounds = int(params.get("rounds", 1000))
+    curve = average_max_load_curve(
+        int(params["ports"]), rounds,
+        lam=float(params.get("lam", 0.99)),
+        repeats=int(params.get("repeats", 3)), seed=seed)
+    return {f"round_{int(c)}": curve[int(c) - 1]
+            for c in params.get("checkpoints", (100, 500, rounds))}
+
+
+def _run_balls_bins_ops(params: Mapping[str, object],
+                        seed: int) -> Dict[str, float]:
+    """Figs. 18/20: one batched (oblivious) balls-into-bins run."""
+    trace = batched_balls_into_bins(
+        int(params["n_bins"]), int(params.get("rounds", 2000)),
+        lam=float(params.get("lam", 1.0)), rng=random.Random(seed))
+    return _trace_outputs(trace, params.get("checkpoints", ()),
+                          int(params.get("tail", 100)))
+
+
+def _run_recycled_bins(params: Mapping[str, object],
+                       seed: int) -> Dict[str, float]:
+    """Figs. 18/20: one recycled balls-into-bins run (Theorem 5.1)."""
+    trace = recycled_balls_into_bins(
+        RecycledParams(
+            n_bins=int(params["n_bins"]),
+            tau=int(params["tau"]) if "tau" in params else None,
+            b=float(params["b"]) if "b" in params else None,
+            coalesce=int(params.get("coalesce", 1)),
+        ),
+        int(params.get("rounds", 2000)), rng=random.Random(seed))
+    out = _trace_outputs(trace, params.get("checkpoints", ()),
+                         int(params.get("tail", 100)))
+    out["remembered_fraction"] = trace.remembered_fraction[-1]
+    return out
+
+
+_TRACE_CDFS = {"websearch": WEBSEARCH_CDF, "facebook": FACEBOOK_CDF}
+
+
+def _run_trace_quantiles(params: Mapping[str, object],
+                         seed: int) -> Dict[str, float]:
+    """Fig. 24: flow-size quantiles of one DC-trace distribution."""
+    cdf_def = _TRACE_CDFS[str(params["trace"])]
+    n = int(params.get("samples", 20_000))
+    rng = random.Random(seed)
+    sizes = sorted(sample_flow_size(cdf_def, rng) for _ in range(n))
+    out = {}
+    for pct in params.get("quantiles", (25, 50, 75, 90, 99)):
+        out[f"p{int(pct)}"] = float(sizes[int(pct / 100 * (n - 1))])
+    return out
+
+
+def _run_footprint(params: Mapping[str, object],
+                   seed: int) -> Dict[str, float]:
+    """Table 1: per-connection state of one REPS configuration."""
+    fp = compute_footprint(RepsConfig(
+        buffer_size=int(params.get("buffer_size", 8)),
+        evs_size=int(params.get("evs_size", 65536)),
+        ev_lifespan=int(params.get("ev_lifespan", 1)),
+    ))
+    return {"total_bits": float(fp.total_bits),
+            "total_bytes": float(fp.total_bytes)}
+
+
+MODEL_RUNNERS: Dict[str, Callable[[Mapping[str, object], int],
+                                  Dict[str, float]]] = {
+    "imbalance": _run_imbalance,
+    "balls_bins_curve": _run_balls_bins_curve,
+    "balls_bins_ops": _run_balls_bins_ops,
+    "recycled_bins": _run_recycled_bins,
+    "trace_quantiles": _run_trace_quantiles,
+    "footprint": _run_footprint,
+}
+
+
+def run_model(pattern: str, params: Mapping[str, object],
+              seed: int) -> Dict[str, float]:
+    """Execute one analytical-model task; returns its scalar outputs."""
+    try:
+        runner = MODEL_RUNNERS[pattern]
+    except KeyError:
+        raise ValueError(f"unknown model {pattern!r}; "
+                         f"one of {sorted(MODEL_RUNNERS)}") from None
+    return runner(params, seed)

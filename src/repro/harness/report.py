@@ -62,14 +62,15 @@ def print_shape(claim: str, holds: bool) -> None:
     print(shape_note(claim, holds))
 
 
-SWEEP_HEADERS = ["scenario", "seeds", "mean", "p99", "min", "max"]
+SWEEP_HEADERS = ["scenario", "seeds", "mean", "ci95", "p99", "min", "max"]
 
 
 def format_sweep_table(title: str, results, metric: str) -> str:
     """Render a sweep campaign's across-seed aggregation of ``metric``.
 
     ``results`` is a :class:`~repro.harness.sweep.SweepResults`; one row
-    per seed-erased task group with mean/p99/min/max over its seeds.
+    per seed-erased task group with mean / 95% CI half-width / p99 /
+    min / max over its seeds.
     """
     return format_table(f"{title} — {metric}", SWEEP_HEADERS,
                         results.table(metric))

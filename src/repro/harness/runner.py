@@ -203,6 +203,61 @@ def fail_cables_hook(indices: Sequence[int], at_us: float,
     return hook
 
 
+def fail_cable_schedule_hook(
+        events: Sequence[Sequence[float]]) -> FailureHook:
+    """A timed schedule of T0-uplink failures.
+
+    ``events`` is a sequence of ``(index, at_us, duration_us)`` triples
+    (``duration_us`` ``None`` = permanent).  This is the declarative
+    form of the Fig. 7 / Fig. 11b hand-written hooks: the whole schedule
+    is plain data, so it pickles into pool workers and hashes into sweep
+    content keys.
+    """
+    def hook(net: Network) -> None:
+        cables = net.tree.t0_uplink_cables()
+        for index, at_us, duration_us in events:
+            net.failures.fail_cable(
+                cables[int(index) % len(cables)],
+                at_ps=int(at_us * 1e6),
+                duration_ps=(int(duration_us * 1e6)
+                             if duration_us is not None else None))
+    return hook
+
+
+def fail_tor_uplinks_hook(*, tor: int = 0, keep: int = 1,
+                          at_us: float = 100.0,
+                          stagger_us: float = 200.0) -> FailureHook:
+    """Incrementally fail one ToR's uplinks (Fig. 22, Appendix C.3).
+
+    All but ``keep`` of T0 ``tor``'s uplink cables die permanently, one
+    every ``stagger_us`` starting at ``at_us``.
+    """
+    def hook(net: Network) -> None:
+        t0_name = net.tree.t0s[tor % len(net.tree.t0s)].name
+        uplinks = [c for c in net.tree.t0_uplink_cables()
+                   if c.name.startswith(f"{t0_name}<->")]
+        victims = uplinks[:-keep] if keep > 0 else uplinks
+        for i, cable in enumerate(victims):
+            net.failures.fail_cable(
+                cable, at_ps=int((at_us + stagger_us * i) * 1e6))
+    return hook
+
+
+def force_freeze_hook(at_us: float) -> FailureHook:
+    """Force every freeze-capable flow LB into freezing mode at
+    ``at_us`` without any actual failure (Fig. 19, Appendix A)."""
+    def hook(net: Network) -> None:
+        at_ps = int(at_us * 1e6)
+
+        def freeze() -> None:
+            for rec in net.flows.values():
+                lb = rec.sender.lb
+                if hasattr(lb, "force_freeze"):
+                    lb.force_freeze(at_ps)
+        net.engine.at(at_ps, freeze)
+    return hook
+
+
 def fail_fraction_hook(fraction: float, at_us: float, *, seed: int = 0,
                        what: str = "cables") -> FailureHook:
     """Fail a random fraction of T0 uplink cables or T1 switches.
@@ -283,3 +338,54 @@ def run_lb_matrix(
 ) -> Dict[str, ScenarioResult]:
     """Run the same experiment under each load balancer."""
     return {lb: run(make_scenario(lb)) for lb in lbs}
+
+
+# ----------------------------------------------------------------------
+# result probes
+# ----------------------------------------------------------------------
+# Named extractors that turn a finished :class:`ScenarioResult` into
+# scalar metrics.  The "microscopic" figures read telemetry recorders,
+# per-port counters, or per-flow LB state — none of which survive the
+# sweep harness's JSON artifacts directly.  Probes run inside the task
+# executor (so they work across a process pool) and their outputs travel
+# in the artifact's ``extra`` section.
+
+def probe_queue_telemetry(result: ScenarioResult) -> Dict[str, float]:
+    """Fig. 2-style steady-state queue/utilization stats (needs a
+    ``telemetry_bucket_us`` scenario setting)."""
+    rec = result.recorder
+    if rec is None:
+        raise ValueError("queue_telemetry probe needs telemetry_bucket_us")
+    kmin_kb = (result.network.tree.queue_capacity()
+               * result.network.tree.params.kmin_fraction / 1024.0)
+    return {
+        "steady_queue_kb": rec.max_queue_kb(0.3, 0.9),
+        "util_spread_gbps": rec.utilization_spread(),
+        "kmin_kb": kmin_kb,
+    }
+
+
+def probe_uplink_share(result: ScenarioResult) -> Dict[str, float]:
+    """Fig. 4: bytes the first (degraded) T0 uplink carried relative to
+    the average of its siblings."""
+    t0 = result.network.tree.t0s[0]
+    slow = t0.up_ports[0]
+    other = [p.stats.bytes_tx for p in t0.up_ports if p is not slow]
+    avg = sum(other) / len(other) if other else 0.0
+    share = slow.stats.bytes_tx / avg if avg else float("inf")
+    return {"slow_uplink_share": share}
+
+
+def probe_freeze_entries(result: ScenarioResult) -> Dict[str, float]:
+    """Figs. 7/22: how often REPS senders entered freezing mode."""
+    total = sum(getattr(rec.sender.lb, "stats_freeze_entries", 0)
+                for rec in result.network.flows.values())
+    return {"freeze_entries": float(total)}
+
+
+#: probe name -> extractor; referenced by ``SweepTask.probes``
+RESULT_PROBES: Dict[str, Callable[[ScenarioResult], Dict[str, float]]] = {
+    "queue_telemetry": probe_queue_telemetry,
+    "uplink_share": probe_uplink_share,
+    "freeze_entries": probe_freeze_entries,
+}

@@ -4,6 +4,8 @@ The paper's simulations use 128-1024 nodes and multi-MiB messages; a pure
 Python simulator reproduces the *relative* behaviour at reduced scale in
 seconds per run.  ``REPRO_BENCH_SCALE`` selects the operating point:
 
+- ``smoke``: tiny topologies and messages for CI / wiring checks — each
+  figure runs in seconds, at the cost of paper-shape fidelity.
 - ``quick`` (default): small topologies, scaled message sizes; the whole
   benchmark suite runs in minutes.
 - ``full``: larger topologies and messages, closer to the paper's sizes;
@@ -43,12 +45,14 @@ class Scale:
         return TopologyParams(**params)
 
 
+SMOKE = Scale(name="smoke", n_hosts=8, hosts_per_t0=4, msg_scale=1 / 64,
+              trace_duration_us=40.0, repeats=1)
 QUICK = Scale(name="quick", n_hosts=32, hosts_per_t0=8, msg_scale=0.25,
               trace_duration_us=120.0, repeats=1)
 FULL = Scale(name="full", n_hosts=128, hosts_per_t0=16, msg_scale=1.0,
              trace_duration_us=400.0, repeats=3)
 
-_SCALES = {"quick": QUICK, "full": FULL}
+_SCALES = {"smoke": SMOKE, "quick": QUICK, "full": FULL}
 
 
 def current_scale() -> Scale:

@@ -40,6 +40,7 @@ import json
 import math
 import multiprocessing
 import os
+import time
 from dataclasses import asdict, dataclass, field
 from typing import (
     Dict,
@@ -55,48 +56,103 @@ from typing import (
 from ..core.reps import RepsConfig
 from ..sim.metrics import RunMetrics
 from ..sim.topology import TopologyParams
+from .model_tasks import run_model
 from .runner import (
+    RESULT_PROBES,
     Scenario,
     ber_hook,
     degrade_cables_hook,
     degrade_fraction_hook,
+    fail_cable_schedule_hook,
     fail_cables_hook,
     fail_fraction_hook,
+    fail_tor_uplinks_hook,
+    force_freeze_hook,
     run_collective,
+    run_mixed_traffic,
     run_synthetic,
     run_trace,
 )
 from .stats import Aggregate
 
 #: bump to invalidate stored artifacts when the result format changes
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 KV = Tuple[Tuple[str, object], ...]
 
 #: Scenario fields a sweep task may override (everything picklable)
 _SCENARIO_KEYS = frozenset(
     {"cc", "evs_size", "ack_coalesce", "carry_evs", "reps", "rto_us",
-     "max_us"})
+     "max_us", "telemetry_bucket_us"})
 
 #: declarative failure kinds -> the runner's hook factories
 _FAILURE_HOOKS = {
     "fail_cables": fail_cables_hook,
+    "fail_cable_schedule": fail_cable_schedule_hook,
+    "fail_tor_uplinks": fail_tor_uplinks_hook,
     "fail_fraction": fail_fraction_hook,
     "degrade_cables": degrade_cables_hook,
     "degrade_fraction": degrade_fraction_hook,
     "ber": ber_hook,
+    "force_freeze": force_freeze_hook,
 }
+
+#: packages/modules whose source defines simulation results (or the
+#: shape of stored artifacts) — hashed into :func:`simulator_version`
+#: so stored results go stale when the simulator, the task executors,
+#: or the payload format change (not just the task parameters)
+_VERSIONED_SOURCES = (
+    "core", "sim", "lb", "workloads", "models",
+    os.path.join("harness", "runner.py"),
+    os.path.join("harness", "model_tasks.py"),
+    os.path.join("harness", "sweep.py"),
+)
+
+_sim_version_cache: Optional[str] = None
+
+
+def simulator_version() -> str:
+    """Content hash of the simulator source tree (ROADMAP open item).
+
+    A component of every task content key: artifacts produced by an
+    older simulator stop hitting the cache the moment any file under
+    ``repro/{core,sim,lb,workloads,models}`` (or the runner / model
+    executors) changes, without anyone remembering to bump a version.
+    """
+    global _sim_version_cache
+    if _sim_version_cache is not None:
+        return _sim_version_cache
+    pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    digest = hashlib.sha256()
+    for entry in _VERSIONED_SOURCES:
+        path = os.path.join(pkg_root, entry)
+        files = []
+        if os.path.isdir(path):
+            for dirpath, _dirnames, filenames in os.walk(path):
+                files += [os.path.join(dirpath, f) for f in filenames
+                          if f.endswith(".py")]
+        elif os.path.isfile(path):
+            files.append(path)
+        for fname in sorted(files):
+            digest.update(os.path.relpath(fname, pkg_root).encode())
+            digest.update(b"\0")
+            with open(fname, "rb") as fh:
+                digest.update(fh.read())
+            digest.update(b"\0")
+    _sim_version_cache = digest.hexdigest()[:16]
+    return _sim_version_cache
+
+
+def _deep_tuple(value):
+    """Recursively freeze lists/tuples so values stay hashable."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_deep_tuple(v) for v in value)
+    return value
 
 
 def _kv(mapping: Mapping[str, object]) -> KV:
     """Canonical, hashable key/value form of a mapping."""
-    out = []
-    for k in sorted(mapping):
-        v = mapping[k]
-        if isinstance(v, (list, tuple)):
-            v = tuple(v)
-        out.append((k, v))
-    return tuple(out)
+    return tuple((k, _deep_tuple(mapping[k])) for k in sorted(mapping))
 
 
 @dataclass(frozen=True)
@@ -104,10 +160,14 @@ class WorkloadSpec:
     """One declarative workload: picklable, hashable, content-keyable.
 
     ``kind`` selects the runner entry point; ``pattern`` names the
-    synthetic pattern, the collective kind, or the DC trace.
+    synthetic pattern, the collective kind, the DC trace, or — for
+    ``kind="model"`` — an analytical model from
+    :mod:`repro.harness.model_tasks` (parameterized via ``params``).
+    ``kind="mixed"`` runs the Fig.-6 split: the task's LB shares the
+    fabric with ``background_fraction`` legacy ``background_lb`` flows.
     """
 
-    kind: str = "synthetic"          # synthetic | trace | collective
+    kind: str = "synthetic"  # synthetic | trace | collective | mixed | model
     pattern: str = "permutation"
     msg_bytes: int = 1 << 20
     fan_in: int = 8                  # synthetic incast only
@@ -116,18 +176,32 @@ class WorkloadSpec:
     n_parallel: int = 8              # AllToAll only
     workload_seed: int = 2           # synthetic/trace only (collectives
     #                                  are fully determined by the net)
+    background_lb: str = "ecmp"      # mixed only
+    background_fraction: float = 0.1  # mixed only
+    params: KV = ()                  # model only
 
     def label(self) -> str:
         if self.kind == "trace":
             return f"{self.pattern}@{int(self.load * 100)}%"
         if self.kind == "collective":
             return self.pattern
+        if self.kind == "model":
+            return f"model:{self.pattern}"
+        if self.kind == "mixed":
+            return (f"{self.pattern}/{self.msg_bytes >> 10}KiB+"
+                    f"{int(self.background_fraction * 100)}%"
+                    f"{self.background_lb}")
         return f"{self.pattern}/{self.msg_bytes >> 10}KiB"
 
 
 @dataclass(frozen=True)
 class FailureSpec:
-    """A named failure hook plus kwargs, in canonical tuple form."""
+    """A named failure hook plus kwargs, in canonical tuple form.
+
+    Besides the single-hook kinds in ``_FAILURE_HOOKS``, the special
+    kind ``"compose"`` holds a tuple of sub-specs applied in order —
+    the declarative form of Fig. 8's combined cable+switch modes.
+    """
 
     kind: str
     params: KV = ()
@@ -139,7 +213,23 @@ class FailureSpec:
                              f"one of {sorted(_FAILURE_HOOKS)}")
         return cls(kind, _kv(params))
 
+    @classmethod
+    def compose(cls, *specs: "FailureSpec") -> "FailureSpec":
+        """A spec applying every ``spec`` to the network, in order."""
+        if not specs:
+            raise ValueError("compose needs at least one FailureSpec")
+        if not all(isinstance(s, FailureSpec) for s in specs):
+            raise TypeError("compose takes FailureSpec instances")
+        return cls("compose", (("specs", tuple(specs)),))
+
     def hook(self):
+        if self.kind == "compose":
+            hooks = [s.hook() for s in dict(self.params)["specs"]]
+
+            def composite(net) -> None:
+                for h in hooks:
+                    h(net)
+            return composite
         kwargs = {k: (list(v) if isinstance(v, tuple) else v)
                   for k, v in self.params}
         return _FAILURE_HOOKS[self.kind](**kwargs)
@@ -155,14 +245,19 @@ class SweepTask:
     seed: int
     scenario: KV = ()
     failure: Optional[FailureSpec] = None
+    #: named :data:`~repro.harness.runner.RESULT_PROBES` applied to the
+    #: finished run; their outputs land in the artifact's ``extra``
+    probes: Tuple[str, ...] = ()
 
     def group(self) -> "SweepTask":
         """The task with its seed erased — the across-seed aggregation
         unit (all other parameters identical)."""
         return SweepTask(self.lb, self.topo, self.workload, -1,
-                         self.scenario, self.failure)
+                         self.scenario, self.failure, self.probes)
 
     def label(self) -> str:
+        if self.workload.kind == "model":
+            return self.workload.label()
         topo = dict(self.topo)
         bits = [self.lb, self.workload.label(),
                 f"{topo.get('n_hosts', '?')}h"]
@@ -175,6 +270,7 @@ class SweepTask:
 def make_task(lb: str, topo: Union[TopologyParams, Mapping[str, object]],
               workload: WorkloadSpec, *, seed: int,
               failure: Optional[FailureSpec] = None,
+              probes: Sequence[str] = (),
               **scenario_kw) -> SweepTask:
     """Build a :class:`SweepTask` from natural arguments."""
     if isinstance(topo, TopologyParams):
@@ -183,12 +279,34 @@ def make_task(lb: str, topo: Union[TopologyParams, Mapping[str, object]],
     if unknown:
         raise ValueError(f"unsupported scenario keys {sorted(unknown)}; "
                          f"allowed: {sorted(_SCENARIO_KEYS)}")
+    bad_probes = set(probes) - set(RESULT_PROBES)
+    if bad_probes:
+        raise ValueError(f"unknown probes {sorted(bad_probes)}; "
+                         f"one of {sorted(RESULT_PROBES)}")
+    if probes and workload.kind in ("mixed", "model"):
+        # these kinds never produce the ScenarioResult probes read from
+        raise ValueError(
+            f"probes are not supported for {workload.kind!r} workloads")
     reps = scenario_kw.get("reps")
     if isinstance(reps, RepsConfig):
         scenario_kw["reps"] = _kv(asdict(reps))
     return SweepTask(lb=lb, topo=_kv(topo), workload=workload,
                      seed=int(seed), scenario=_kv(scenario_kw),
-                     failure=failure)
+                     failure=failure, probes=tuple(probes))
+
+
+def make_model_task(pattern: str, *, seed: int,
+                    **params) -> SweepTask:
+    """Build an analytical-model task (``WorkloadSpec(kind="model")``).
+
+    ``params`` parameterize the model runner; they are canonicalized the
+    same way scenario keys are, so model tasks hash and cache like
+    simulator tasks.
+    """
+    workload = WorkloadSpec(kind="model", pattern=pattern,
+                            params=_kv(params))
+    return SweepTask(lb="model", topo=(), workload=workload,
+                     seed=int(seed))
 
 
 # ----------------------------------------------------------------------
@@ -230,32 +348,56 @@ _WORKLOAD_KEY_FIELDS = {
                   "workload_seed"),
     "trace": ("kind", "pattern", "load", "duration_us", "workload_seed"),
     "collective": ("kind", "pattern", "msg_bytes", "n_parallel"),
+    "mixed": ("kind", "pattern", "msg_bytes", "workload_seed",
+              "background_lb", "background_fraction"),
+    "model": ("kind", "pattern", "params"),
 }
 
 
 def _workload_doc(workload: WorkloadSpec) -> Dict[str, object]:
     doc = asdict(workload)
     names = _WORKLOAD_KEY_FIELDS.get(workload.kind)
-    return {k: doc[k] for k in names} if names else doc
+    return {k: _jsonify(doc[k]) for k in names} if names \
+        else _jsonify_mapping(doc)
+
+
+def _jsonify_mapping(doc: Mapping[str, object]) -> Dict[str, object]:
+    return {k: _jsonify(v) for k, v in doc.items()}
 
 
 def task_key(task: SweepTask) -> str:
-    """Content hash identifying a task (and its stored result)."""
+    """Content hash identifying a task (and its stored result).
+
+    Besides the task parameters, the key carries the artifact schema
+    version and :func:`simulator_version`, so a stored result is only
+    ever reused by the exact simulator revision that produced it.
+    """
     doc = {
         "schema": SCHEMA_VERSION,
+        "sim": simulator_version(),
         "lb": task.lb,
         "topo": _jsonify(task.topo),
         "workload": _workload_doc(task.workload),
         "seed": task.seed,
         "scenario": _jsonify(task.scenario),
         "failure": _jsonify(task.failure),
+        "probes": list(task.probes),
     }
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()[:24]
 
 
 class ResultStore:
-    """One JSON artifact per finished task under a root directory."""
+    """One JSON artifact per finished task under a root directory.
+
+    Alongside the artifacts, the store maintains a campaign manifest
+    (``manifest.json``): one index entry per key with the task label,
+    seed, simulator version and write timestamp.  The manifest is what
+    makes a sweep directory browsable without opening every artifact,
+    and what :meth:`prune` uses to drop stale results.
+    """
+
+    MANIFEST = "manifest.json"
 
     def __init__(self, root: str) -> None:
         self.root = root
@@ -273,21 +415,104 @@ class ResultStore:
             return None
         return payload
 
-    def put(self, key: str, payload: dict) -> None:
-        os.makedirs(self.root, exist_ok=True)
+    def _write_json(self, path: str, doc: dict) -> None:
         # per-process temp name: concurrent campaigns sharing a store
         # must not interleave writes before the atomic rename
-        tmp = self._path(key) + f".{os.getpid()}.tmp"
+        tmp = path + f".{os.getpid()}.tmp"
         with open(tmp, "w") as fh:
-            json.dump(payload, fh, sort_keys=True)
-        os.replace(tmp, self._path(key))
+            json.dump(doc, fh, sort_keys=True)
+        os.replace(tmp, path)
+
+    @staticmethod
+    def _manifest_entry(payload: dict, written_at: float) -> dict:
+        return {
+            "label": payload.get("task", {}).get("label", ""),
+            "seed": payload.get("task", {}).get("seed"),
+            "schema": payload.get("schema"),
+            "sim": payload.get("sim"),
+            "written_at": written_at,
+        }
+
+    def put(self, key: str, payload: dict) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        self._write_json(self._path(key), payload)
+        # read-merge-write per put: concurrent campaigns sharing a store
+        # each merge into the latest on-disk index instead of clobbering
+        # it from a stale in-memory snapshot
+        manifest = self._read_index()
+        manifest[key] = self._manifest_entry(payload, time.time())
+        self._write_json(os.path.join(self.root, self.MANIFEST), manifest)
+
+    def _read_index(self) -> Dict[str, dict]:
+        try:
+            with open(os.path.join(self.root, self.MANIFEST)) as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return {}
+
+    def manifest(self) -> Dict[str, dict]:
+        """The campaign index: key -> {label, seed, schema, sim,
+        written_at}, reconciled against the artifacts on disk.
+
+        put() merges, but two *processes* writing at the same instant
+        can still lose an index entry (last writer wins); reads repair
+        that by synthesizing entries for any artifact missing from the
+        index and dropping entries whose artifact is gone.
+        """
+        manifest = self._read_index()
+        on_disk = self.keys()
+        for key in on_disk:
+            if key in manifest:
+                continue
+            payload = self.get(key)
+            if payload is not None:
+                try:
+                    mtime = os.path.getmtime(self._path(key))
+                except OSError:
+                    mtime = time.time()
+                manifest[key] = self._manifest_entry(payload, mtime)
+        for key in set(manifest) - set(on_disk):
+            del manifest[key]
+        return manifest
 
     def keys(self) -> List[str]:
         try:
             names = os.listdir(self.root)
         except OSError:
             return []
-        return sorted(n[:-5] for n in names if n.endswith(".json"))
+        return sorted(n[:-5] for n in names
+                      if n.endswith(".json") and n != self.MANIFEST)
+
+    def prune(self, keep: Optional[Iterable[str]] = None) -> List[str]:
+        """Delete stale artifacts; returns the removed keys.
+
+        With ``keep`` given, everything outside that key set goes.
+        Without it, artifacts whose stored simulator version differs
+        from the current :func:`simulator_version` (or whose schema is
+        outdated) are removed — the post-upgrade cleanup.
+        """
+        removed = []
+        keep_set = set(keep) if keep is not None else None
+        for key in self.keys():
+            if keep_set is not None:
+                stale = key not in keep_set
+            else:
+                payload = self.get(key)  # None for schema mismatches
+                stale = payload is None or \
+                    payload.get("sim") != simulator_version()
+            if stale:
+                try:
+                    os.remove(self._path(key))
+                except OSError:
+                    continue
+                removed.append(key)
+        if removed:
+            manifest = self.manifest()
+            for key in removed:
+                manifest.pop(key, None)
+            self._write_json(os.path.join(self.root, self.MANIFEST),
+                             manifest)
+        return removed
 
     def __len__(self) -> int:
         return len(self.keys())
@@ -308,15 +533,29 @@ def _metrics_doc(metrics: RunMetrics) -> Dict[str, object]:
     return doc
 
 
+def _finite_or_none(value: float):
+    return value if math.isfinite(value) else None
+
+
 def execute_task(task: SweepTask) -> Dict[str, object]:
     """Run one task to completion and return its JSON-ready payload."""
+    w = task.workload
+    payload = {"schema": SCHEMA_VERSION, "sim": simulator_version(),
+               "key": task_key(task),
+               "task": {"label": task.label(), "seed": task.seed}}
+    if w.kind == "model":
+        outputs = run_model(w.pattern, dict(w.params), task.seed)
+        payload["metrics"] = {}
+        payload["extra"] = {k: _finite_or_none(float(v))
+                            for k, v in outputs.items()}
+        return payload
+
     kw = dict(task.scenario)
     if isinstance(kw.get("reps"), tuple):
         kw["reps"] = RepsConfig(**dict(kw["reps"]))
     scenario = Scenario(
         lb=task.lb, topo=TopologyParams(**dict(task.topo)), seed=task.seed,
         failures=task.failure.hook() if task.failure else None, **kw)
-    w = task.workload
     extra: Dict[str, float] = {}
     if w.kind == "synthetic":
         res = run_synthetic(scenario, w.pattern, w.msg_bytes,
@@ -328,11 +567,29 @@ def execute_task(task: SweepTask) -> Dict[str, object]:
         res = run_collective(scenario, w.pattern, w.msg_bytes,
                              n_parallel=w.n_parallel)
         extra["finish_us"] = res.collective.finish_us
+    elif w.kind == "mixed":
+        main, bg = run_mixed_traffic(
+            scenario, w.pattern, w.msg_bytes,
+            background_lb=w.background_lb,
+            background_fraction=w.background_fraction,
+            workload_seed=w.workload_seed)
+        for name in ("max_fct_us", "avg_fct_us"):
+            extra[f"bg_{name}"] = _finite_or_none(getattr(bg, name))
+        extra["bg_total_drops"] = float(bg.total_drops)
+        extra["bg_flows_completed"] = float(bg.flows_completed)
+        extra["bg_flows_total"] = float(bg.flows_total)
+        payload["metrics"] = _metrics_doc(main)
+        payload["extra"] = extra
+        return payload
     else:
         raise ValueError(f"unknown workload kind {w.kind!r}")
-    return {"schema": SCHEMA_VERSION, "key": task_key(task),
-            "task": {"label": task.label(), "seed": task.seed},
-            "metrics": _metrics_doc(res.metrics), "extra": extra}
+    for name in task.probes:
+        probed = RESULT_PROBES[name](res)
+        extra.update({k: _finite_or_none(float(v))
+                      for k, v in probed.items()})
+    payload["metrics"] = _metrics_doc(res.metrics)
+    payload["extra"] = extra
+    return payload
 
 
 def _pool_entry(item: Tuple[str, SweepTask]) -> Tuple[str, Dict[str, object]]:
@@ -449,10 +706,12 @@ class SweepResults:
         return {g: Aggregate(samples) for g, samples in groups.items()}
 
     def table(self, metric: str) -> List[List[object]]:
-        """Report-ready rows: label, seeds, mean, p99, min, max."""
+        """Report-ready rows: label, seeds, mean, 95% CI half-width,
+        p99, min, max (CI across seeds; 0 for single-seed groups)."""
         rows = []
         for group, agg in self.aggregate(metric).items():
             rows.append([group.label(), agg.n, round(agg.mean, 2),
+                         round(agg.ci95, 2),
                          round(agg.percentile(99), 2),
                          round(agg.min, 2), round(agg.max, 2)])
         return rows

@@ -1,0 +1,139 @@
+"""The declarative figure registry.
+
+Every paper figure/table/ablation is a :class:`FigureSpec`: a named
+builder that expands the figure's scenario matrix into
+:class:`~repro.harness.sweep.SweepTask`s, the metric each cell reports,
+a table renderer, and the paper's shape assertions.  The one executor,
+:func:`run_figure`, pushes any spec through
+:func:`~repro.harness.sweep.run_sweep` — so every figure gets the same
+parallelism, deterministic seeding, and content-keyed artifact caching,
+and a benchmark file shrinks to ``run_figure(fig_id)`` plus a report.
+
+Specs register at import time; importing :mod:`repro.scenarios` loads
+the full catalogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..harness.sweep import (
+    ResultStore,
+    SweepResults,
+    SweepTask,
+    TaskResult,
+    run_sweep,
+)
+
+Key = Hashable
+#: (headers, rows, notes) — what a figure prints/persists as its table
+TableDoc = Tuple[Sequence[str], Sequence[Sequence[object]], Sequence[str]]
+
+
+class FigureResult:
+    """One executed figure: benchmark keys -> task results."""
+
+    def __init__(self, spec: "FigureSpec", tasks: Dict[Key, SweepTask],
+                 sweep: SweepResults) -> None:
+        self.spec = spec
+        self.tasks = tasks
+        self.sweep = sweep
+        self._by_key: Dict[Key, TaskResult] = {
+            key: sweep[task] for key, task in tasks.items()}
+
+    def __getitem__(self, key: Key) -> TaskResult:
+        return self._by_key[key]
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def keys(self):
+        return self._by_key.keys()
+
+    def value(self, key: Key, metric: Optional[str] = None) -> float:
+        """One cell of the figure (``spec.metric`` by default)."""
+        return self._by_key[key].value(metric or self.spec.metric)
+
+    def values(self, metric: Optional[str] = None) -> Dict[Key, float]:
+        """Every cell, keyed the way the figure declared its matrix."""
+        return {key: self.value(key, metric) for key in self._by_key}
+
+    def table_doc(self) -> TableDoc:
+        """The figure's report table (headers, rows, notes)."""
+        if self.spec.table is not None:
+            return self.spec.table(self)
+        rows = [(str(key), round(self.value(key), 2))
+                for key in self._by_key]
+        return (["scenario", self.spec.metric], rows, list(self.spec.notes))
+
+    def check(self) -> None:
+        """Run the spec's paper-shape assertions (no-op if none)."""
+        if self.spec.check is not None:
+            self.spec.check(self)
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One paper figure declared as data.
+
+    ``build`` returns the figure's matrix as ``{key: SweepTask}`` —
+    evaluated lazily so the matrix can honour ``REPRO_BENCH_SCALE`` at
+    run time.  ``check`` raises :class:`AssertionError` when the
+    measured shape diverges from the paper's claim.
+    """
+
+    fig_id: str
+    figure: str                # the paper's name, e.g. "Fig. 7"
+    title: str
+    build: Callable[[], Dict[Key, SweepTask]]
+    metric: str = "max_fct_us"
+    table: Optional[Callable[[FigureResult], TableDoc]] = None
+    check: Optional[Callable[[FigureResult], None]] = None
+    notes: Tuple[str, ...] = ()
+
+
+REGISTRY: Dict[str, FigureSpec] = {}
+
+
+def register(spec: FigureSpec) -> FigureSpec:
+    """Add a spec to the catalogue (ids are unique)."""
+    if spec.fig_id in REGISTRY:
+        raise ValueError(f"duplicate figure id {spec.fig_id!r}")
+    REGISTRY[spec.fig_id] = spec
+    return spec
+
+
+def get_figure(fig_id: str) -> FigureSpec:
+    try:
+        return REGISTRY[fig_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {fig_id!r}; "
+            f"`repro figures list` shows the catalogue") from None
+
+
+def figure_ids() -> List[str]:
+    """Registered ids, in registration (paper) order."""
+    return list(REGISTRY)
+
+
+def run_figure(spec, *, workers: int = 1,
+               store: Optional[ResultStore] = None,
+               progress: bool = False) -> FigureResult:
+    """Expand a figure's matrix and execute it through the sweep
+    harness (``spec`` may be a :class:`FigureSpec` or a registry id)."""
+    if isinstance(spec, str):
+        spec = get_figure(spec)
+    tasks = spec.build()
+    results = run_sweep(list(tasks.values()), workers=workers,
+                        store=store, progress=progress)
+    return FigureResult(spec, tasks, results)

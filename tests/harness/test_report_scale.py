@@ -10,7 +10,7 @@ from repro.harness.report import (
     shape_note,
     speedups,
 )
-from repro.harness.scale import FULL, QUICK, current_scale
+from repro.harness.scale import FULL, QUICK, SMOKE, current_scale
 
 
 class TestReport:
@@ -54,6 +54,11 @@ class TestScale:
     def test_full_selectable(self, monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
         assert current_scale() is FULL
+
+    def test_smoke_selectable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        assert current_scale() is SMOKE
+        assert SMOKE.msg_bytes(8) == 128 * 1024  # floor applies
 
     def test_invalid_rejected(self, monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_SCALE", "huge")

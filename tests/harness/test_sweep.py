@@ -7,14 +7,17 @@ import os
 
 import pytest
 
+import repro.harness.sweep as sweep_mod
 from repro.harness.sweep import (
     FailureSpec,
     ResultStore,
     SweepGrid,
     WorkloadSpec,
     execute_task,
+    make_model_task,
     make_task,
     run_sweep,
+    simulator_version,
     spawn_seeds,
     task_key,
 )
@@ -61,7 +64,12 @@ class TestGridExpansion:
     def test_unknown_scenario_key_rejected(self):
         with pytest.raises(ValueError, match="unsupported scenario"):
             make_task("reps", TINY_TOPO, TINY_WORKLOAD, seed=1,
-                      telemetry_bucket_us=5.0)
+                      warp_factor=5.0)
+
+    def test_unknown_probe_rejected(self):
+        with pytest.raises(ValueError, match="unknown probes"):
+            make_task("reps", TINY_TOPO, TINY_WORKLOAD, seed=1,
+                      probes=("quantum_telemetry",))
 
 
 class TestSeeding:
@@ -123,6 +131,41 @@ class TestTaskKey:
     def test_failure_spec_unknown_kind(self):
         with pytest.raises(ValueError, match="unknown failure kind"):
             FailureSpec.make("meteor_strike", fraction=1.0)
+
+    def test_probes_change_key(self):
+        plain = make_task("reps", TINY_TOPO, TINY_WORKLOAD, seed=1)
+        probed = make_task("reps", TINY_TOPO, TINY_WORKLOAD, seed=1,
+                           probes=("freeze_entries",))
+        assert task_key(plain) != task_key(probed)
+
+
+class TestSimulatorVersion:
+    def test_stable_and_hexish(self):
+        v = simulator_version()
+        assert v == simulator_version()
+        assert len(v) == 16
+        int(v, 16)
+
+    def test_version_component_changes_key(self, monkeypatch):
+        task = make_task("reps", TINY_TOPO, TINY_WORKLOAD, seed=1)
+        before = task_key(task)
+        monkeypatch.setattr(sweep_mod, "simulator_version",
+                            lambda: "deadbeefdeadbeef")
+        assert task_key(task) != before
+
+    def test_stale_simulator_artifact_recomputed(self, tmp_path,
+                                                 monkeypatch):
+        """An artifact written by an older simulator must miss: its key
+        embeds the old version, so the new run stores a fresh one."""
+        store = ResultStore(str(tmp_path))
+        grid = tiny_grid(lbs=["reps"], seeds=(1,))
+        monkeypatch.setattr(sweep_mod, "simulator_version",
+                            lambda: "0ld51mver510n000")
+        run_sweep(grid, store=store)
+        monkeypatch.undo()
+        results = run_sweep(grid, store=store)
+        assert results.executed == 1
+        assert len(store) == 2  # old + new artifacts coexist until prune
 
 
 class TestStoreCaching:
@@ -224,6 +267,121 @@ class TestAggregation:
             results.results[0].value("nope")
 
 
+class TestManifestAndPrune:
+    def test_put_maintains_manifest(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        grid = tiny_grid(lbs=["reps"], seeds=(1, 2))
+        run_sweep(grid, store=store)
+        manifest = ResultStore(str(tmp_path)).manifest()
+        assert sorted(manifest) == store.keys()
+        for entry in manifest.values():
+            assert entry["sim"] == simulator_version()
+            assert entry["label"]
+            assert entry["written_at"] > 0
+
+    def test_prune_keep_set(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        grid = tiny_grid(lbs=["ops", "reps"], seeds=(1,))
+        results = run_sweep(grid, store=store)
+        keep = [results.results[0].key]
+        removed = store.prune(keep=keep)
+        assert len(removed) == 1
+        assert store.keys() == keep
+        assert sorted(store.manifest()) == keep
+
+    def test_concurrent_stores_merge_manifest(self, tmp_path):
+        """Two store instances sharing a directory must not clobber
+        each other's manifest entries (read-merge-write per put)."""
+        a = ResultStore(str(tmp_path))
+        b = ResultStore(str(tmp_path))
+        run_sweep(tiny_grid(lbs=["ops"], seeds=(1,)), store=a)
+        run_sweep(tiny_grid(lbs=["reps"], seeds=(1,)), store=b)
+        manifest = ResultStore(str(tmp_path)).manifest()
+        assert sorted(manifest) == a.keys()
+        assert len(manifest) == 2
+
+    def test_manifest_read_repairs_lost_entries(self, tmp_path):
+        """Simulate the two-process lost-update race: an index entry
+        vanishes but the artifact exists — reads must resynthesize it
+        (and drop entries whose artifact was deleted)."""
+        import json as _json
+        store = ResultStore(str(tmp_path))
+        run_sweep(tiny_grid(lbs=["ops", "reps"], seeds=(1,)),
+                  store=store)
+        index_path = os.path.join(str(tmp_path), ResultStore.MANIFEST)
+        with open(index_path) as fh:
+            index = _json.load(fh)
+        lost_key, kept_key = sorted(index)
+        removed_artifact = index.pop(kept_key)  # keep entry, drop file
+        del removed_artifact
+        os.remove(os.path.join(str(tmp_path), f"{kept_key}.json"))
+        index[kept_key] = {"label": "ghost"}  # entry without artifact
+        del index[lost_key]                   # artifact without entry
+        with open(index_path, "w") as fh:
+            _json.dump(index, fh)
+        manifest = store.manifest()
+        assert sorted(manifest) == [lost_key]
+        assert manifest[lost_key]["sim"] == simulator_version()
+        assert manifest[lost_key]["label"]
+
+    def test_prune_stale_sim_versions(self, tmp_path, monkeypatch):
+        store = ResultStore(str(tmp_path))
+        grid = tiny_grid(lbs=["reps"], seeds=(1,))
+        monkeypatch.setattr(sweep_mod, "simulator_version",
+                            lambda: "0ld51mver510n000")
+        run_sweep(grid, store=store)
+        monkeypatch.undo()
+        run_sweep(grid, store=store)
+        assert len(store) == 2
+        removed = store.prune()
+        assert len(removed) == 1
+        (survivor,) = store.keys()
+        assert store.get(survivor)["sim"] == simulator_version()
+
+    def test_ci95_column_in_table(self):
+        from repro.harness.report import SWEEP_HEADERS
+        results = run_sweep(tiny_grid(lbs=["reps"], seeds=(1, 2, 3)))
+        agg = results.aggregate("max_fct_us")
+        (group,) = agg
+        row = results.table("max_fct_us")[0]
+        assert SWEEP_HEADERS.index("ci95") == 3
+        assert row[3] == round(agg[group].ci95, 2)
+        assert agg[group].ci95 > 0  # seeds vary, so the CI is real
+
+
+class TestProbes:
+    def test_freeze_probe_in_extra(self):
+        task = make_task("reps", TINY_TOPO, TINY_WORKLOAD, seed=1,
+                         max_us=2_000_000.0, probes=("freeze_entries",))
+        payload = execute_task(task)
+        assert payload["extra"]["freeze_entries"] == 0.0
+
+    def test_probes_rejected_for_mixed_and_model(self):
+        mixed = WorkloadSpec(kind="mixed", msg_bytes=128 * 1024)
+        with pytest.raises(ValueError, match="not supported"):
+            make_task("reps", TINY_TOPO, mixed, seed=1,
+                      probes=("freeze_entries",))
+        model = WorkloadSpec(kind="model", pattern="footprint")
+        with pytest.raises(ValueError, match="not supported"):
+            make_task("model", (), model, seed=1,
+                      probes=("freeze_entries",))
+
+    def test_telemetry_probe_needs_bucket(self):
+        task = make_task("reps", TINY_TOPO, TINY_WORKLOAD, seed=1,
+                         max_us=2_000_000.0, probes=("queue_telemetry",))
+        with pytest.raises(ValueError, match="telemetry_bucket_us"):
+            execute_task(task)
+
+    def test_telemetry_probe_outputs(self):
+        task = make_task("reps", TINY_TOPO, TINY_WORKLOAD, seed=1,
+                         max_us=2_000_000.0, telemetry_bucket_us=2.0,
+                         probes=("queue_telemetry", "uplink_share"))
+        extra = execute_task(task)["extra"]
+        assert extra["kmin_kb"] > 0
+        assert extra["steady_queue_kb"] >= 0
+        assert extra["slow_uplink_share"] > 0
+
+
 class TestWorkloadKinds:
     def test_collective_reports_finish_us(self):
         task = make_task(
@@ -260,3 +418,36 @@ class TestWorkloadKinds:
             max_us=2_000_000.0))
         assert slow["metrics"]["max_fct_us"] > \
             fast["metrics"]["max_fct_us"]
+
+    def test_mixed_workload_reports_background(self):
+        task = make_task(
+            "reps", TINY_TOPO,
+            WorkloadSpec(kind="mixed", pattern="permutation",
+                         msg_bytes=128 * 1024, background_lb="ecmp",
+                         background_fraction=0.25),
+            seed=7, max_us=5_000_000.0)
+        payload = execute_task(task)
+        assert payload["extra"]["bg_flows_total"] == 2.0
+        assert payload["extra"]["bg_max_fct_us"] > 0
+        # main metrics exclude the background flows
+        assert payload["metrics"]["flows_total"] == 6
+
+    def test_model_workload_runs_through_sweep(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        tasks = [make_model_task("footprint", seed=1, buffer_size=b)
+                 for b in (1, 8)]
+        results = run_sweep(tasks, store=store)
+        assert results.executed == 2
+        assert results.results[0].value("total_bits") == 74.0
+        assert results.results[1].value("total_bits") == 193.0
+        again = run_sweep(tasks, store=store)
+        assert again.cached == 2
+
+    def test_model_params_change_key(self):
+        a = make_model_task("imbalance", seed=1, evs_exponent=5)
+        b = make_model_task("imbalance", seed=1, evs_exponent=6)
+        assert task_key(a) != task_key(b)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            execute_task(make_model_task("astrology", seed=1))

@@ -1,8 +1,8 @@
-"""Tier-1 smoke coverage of the benchmark -> sweep wiring.
+"""Tier-1 smoke coverage of the benchmark -> registry -> sweep wiring.
 
-Imports a real figure benchmark and drives its matrix at tiny scale
-through the sweep harness, so a refactor that breaks the benchmark
-plumbing fails the fast suite instead of only the (slow) benchmark run.
+Drives real figure specs at tiny scale through the same path the
+benchmarks use, so a refactor that breaks the figure plumbing fails the
+fast suite instead of only the (slow) benchmark run.
 """
 
 from __future__ import annotations
@@ -25,21 +25,55 @@ def no_bench_cache(monkeypatch):
     monkeypatch.delenv("REPRO_BENCH_WORKERS", raising=False)
 
 
-def test_fig16_matrix_through_sweep_tiny():
-    bench = importlib.import_module("bench_fig16_topology_scaling")
+def test_fig16_matrix_through_registry_tiny():
+    from repro.harness.sweep import run_sweep
+    from repro.scenarios.sensitivity import fig16_tasks
     from repro.sim.topology import TopologyParams
 
-    topos = {8: TopologyParams(n_hosts=8, hosts_per_t0=4)}
-    results = bench.run_scaling_matrix(
-        topos=topos, evs_sizes=(64,), lbs=("ops", "reps"),
-        msg_bytes=128 * 1024, workers=1, name="smoke_fig16")
-    assert set(results) == {("ops", 8, 64), ("reps", 8, 64)}
-    for key, res in results.items():
+    tasks = fig16_tasks(
+        topos={8: TopologyParams(n_hosts=8, hosts_per_t0=4)},
+        evs_sizes=(64,), lbs=("ops", "reps"), msg_bytes=128 * 1024)
+    assert set(tasks) == {("ops", 8, 64), ("reps", 8, 64)}
+    results = run_sweep(list(tasks.values()))
+    for key, task in tasks.items():
+        res = results[task]
         assert res.metrics["flows_completed"] == \
             res.metrics["flows_total"] > 0, key
         assert res.value("max_fct_us") < float("inf")
         # the evs axis really reached the scenario
         assert dict(res.task.scenario)["evs_size"] == 64
+
+
+def test_failure_figure_end_to_end_at_smoke_scale(monkeypatch):
+    """fig11b (declarative link-down schedule) holds its paper shape
+    even at smoke scale — the full bench path minus the cost."""
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+    _common = importlib.import_module("_common")
+    result = _common.bench_figure("fig11b", workers=1)
+    result.check()
+    assert result.value("ops", "total_drops") > \
+        result.value("reps", "total_drops")
+
+
+def test_bench_figure_reports_and_persists(tmp_path, monkeypatch):
+    _common = importlib.import_module("_common")
+    monkeypatch.setattr(_common, "RESULTS_DIR", str(tmp_path))
+    result = _common.bench_figure("table1")
+    _common.bench_report(result)
+    out = tmp_path / "table1.txt"
+    assert out.exists()
+    assert "buffer_elems" in out.read_text()
+
+
+def test_bench_figure_honours_cache_env(tmp_path, monkeypatch):
+    _common = importlib.import_module("_common")
+    monkeypatch.setattr(_common, "RESULTS_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_BENCH_CACHE", "1")
+    first = _common.bench_figure("table1")
+    assert first.sweep.executed == len(first)
+    again = _common.bench_figure("table1")
+    assert again.sweep.cached == len(again)
+    assert (tmp_path / "sweeps" / "table1").is_dir()
 
 
 def test_common_run_matrix_parallel_matches_serial():
@@ -48,6 +82,7 @@ def test_common_run_matrix_parallel_matches_serial():
 
     workload = WorkloadSpec(kind="synthetic", pattern="tornado",
                             msg_bytes=128 * 1024)
+
     def build():
         return {(lb, s): _common.sweep_task(
                     lb, _common.small_topo(n_hosts=8, hosts_per_t0=4),

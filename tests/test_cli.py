@@ -107,6 +107,114 @@ class TestSweep:
         assert "3 to run" in out
 
 
+class TestFigures:
+    def test_list_enumerates_registry(self, capsys):
+        from repro.scenarios import figure_ids
+        code, out = run_cli(capsys, "figures", "list")
+        assert code == 0
+        for fig_id in figure_ids():
+            assert fig_id in out
+
+    def test_run_model_figure(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "figures", "run", "table1",
+            "--results-dir", str(tmp_path))
+        assert code == 0
+        assert "buffer_elems" in out
+        assert "5 executed, 0 from cache" in out
+        assert "[OK ] table1" in out
+
+    def test_run_hits_cache_on_rerun(self, capsys, tmp_path):
+        run_cli(capsys, "figures", "run", "table1",
+                "--results-dir", str(tmp_path))
+        code, out = run_cli(capsys, "figures", "run", "table1",
+                            "--results-dir", str(tmp_path))
+        assert code == 0
+        assert "0 executed, 5 from cache" in out
+
+    def test_fresh_ignores_cache(self, capsys, tmp_path):
+        run_cli(capsys, "figures", "run", "table1",
+                "--results-dir", str(tmp_path))
+        code, out = run_cli(capsys, "figures", "run", "table1",
+                            "--fresh", "--results-dir", str(tmp_path))
+        assert code == 0
+        assert "5 executed, 0 from cache" in out
+
+    def test_prune_drops_stale_artifacts(self, capsys, tmp_path):
+        import json
+        import os
+        run_cli(capsys, "figures", "run", "table1",
+                "--results-dir", str(tmp_path))
+        stale = os.path.join(str(tmp_path), "table1", "feedface.json")
+        with open(stale, "w") as fh:
+            json.dump({"schema": 0}, fh)
+        code, out = run_cli(capsys, "figures", "run", "table1",
+                            "--prune", "--results-dir", str(tmp_path))
+        assert code == 0
+        assert "pruned 1 stale artifact(s)" in out
+        assert not os.path.exists(stale)
+
+    def test_no_cache_runs_without_store(self, capsys, tmp_path):
+        code, out = run_cli(capsys, "figures", "run", "table1",
+                            "--no-cache",
+                            "--results-dir", str(tmp_path))
+        assert code == 0
+        assert not list(tmp_path.iterdir())
+
+    def test_failed_check_sets_exit_code(self, capsys, tmp_path,
+                                         monkeypatch):
+        from repro.scenarios import registry
+
+        def boom(result):
+            raise AssertionError("shape off")
+        spec = registry.get_figure("table1")
+        monkeypatch.setitem(
+            registry.REGISTRY, "table1",
+            type(spec)(**{**spec.__dict__, "check": boom}))
+        code, out = run_cli(capsys, "figures", "run", "table1",
+                            "--no-cache",
+                            "--results-dir", str(tmp_path))
+        assert code == 1
+        assert "[DIVERGES] table1" in out
+
+    def test_no_check_skips_assertions(self, capsys, tmp_path,
+                                       monkeypatch):
+        from repro.scenarios import registry
+
+        def boom(result):
+            raise AssertionError("shape off")
+        spec = registry.get_figure("table1")
+        monkeypatch.setitem(
+            registry.REGISTRY, "table1",
+            type(spec)(**{**spec.__dict__, "check": boom}))
+        code, out = run_cli(capsys, "figures", "run", "table1",
+                            "--no-check", "--no-cache",
+                            "--results-dir", str(tmp_path))
+        assert code == 0
+
+    def test_unknown_figure_id_fails_before_any_run(self, capsys,
+                                                    tmp_path):
+        """Ids resolve up front: a typo in the last id must not cost a
+        full run of the earlier figures (and exits cleanly)."""
+        with pytest.raises(SystemExit, match="figures list"):
+            run_cli(capsys, "figures", "run", "table1", "fig99",
+                    "--results-dir", str(tmp_path))
+        assert not (tmp_path / "table1").exists()
+
+    def test_workers_env_default(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "2")
+        code, out = run_cli(capsys, "figures", "run", "fig24",
+                            "--results-dir", str(tmp_path))
+        assert code == 0
+        assert "2 worker(s)" in out
+
+    def test_malformed_workers_env_leaves_other_commands_alone(
+            self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "lots")
+        code, out = run_cli(capsys, "footprint")
+        assert code == 0
+
+
 class TestFootprint:
     def test_table1_defaults(self, capsys):
         code, out = run_cli(capsys, "footprint")
