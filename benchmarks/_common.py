@@ -19,6 +19,7 @@ import os
 from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.harness import format_table
+from repro.harness.campaign import shared_store
 from repro.harness.sweep import ResultStore, SweepResults, SweepTask, \
     run_sweep
 from repro.scenarios import FigureResult, get_figure, run_figure
@@ -65,13 +66,24 @@ def _store(name: str) -> Optional[ResultStore]:
     return None
 
 
+def _figure_store() -> Optional[ResultStore]:
+    """Registered figures cache into the campaign's shared store, so
+    bench runs and `repro figures run --all` dedup against the same
+    content-keyed artifacts.  (Single-figure `repro figures run <id>`
+    deliberately keeps per-figure store subdirs: its `--prune`
+    keep-set would otherwise delete other figures' artifacts.)"""
+    if os.environ.get("REPRO_BENCH_CACHE"):
+        return shared_store(os.path.join(RESULTS_DIR, "sweeps"))
+    return None
+
+
 def bench_figure(fig_id: str,
                  workers: Optional[int] = None) -> FigureResult:
     """Execute a registered figure's matrix through the sweep harness."""
     return run_figure(get_figure(fig_id),
                       workers=bench_workers() if workers is None
                       else workers,
-                      store=_store(fig_id))
+                      store=_figure_store())
 
 
 def bench_report(result: FigureResult) -> None:

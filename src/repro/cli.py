@@ -1,14 +1,17 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Five subcommands cover the common interactive uses:
+Six subcommands cover the common interactive uses:
 
 - ``run``: one simulation (pattern x load balancer) with a metrics line,
 - ``compare``: the same workload under several load balancers,
 - ``sweep``: a parallel lb x seed x workload campaign with cached
   results and across-seed aggregation,
 - ``figures``: the declarative paper-figure registry — ``list`` the
-  catalogue or ``run`` any figure's whole matrix through the sweep
-  harness (parallel workers, cached artifacts, paper-shape checks),
+  catalogue, ``run`` any figure's matrix through the sweep harness, or
+  ``run --all`` to reproduce the whole paper in one campaign that
+  renders ``REPRODUCTION.md`` + ``campaign.json``,
+- ``docs``: regenerate (or drift-check) the ``docs/figures/`` pages
+  from the registry,
 - ``footprint``: print the Table-1 memory accounting.
 
 Examples::
@@ -19,6 +22,9 @@ Examples::
         --seeds 1,2,3,4 --workers 4 --name tornado-demo
     python -m repro figures list
     python -m repro figures run fig07 fig08_permutation --workers 4
+    python -m repro figures run --all --scale smoke --workers 4
+    python -m repro figures run --all --tag failures --skip fig09
+    python -m repro docs figures --check
     python -m repro run --lb reps --fail-uplink 0 --fail-at 50 --fail-for 200
     python -m repro footprint --buffer 8 --evs 65536
 """
@@ -128,15 +134,40 @@ def _build_parser() -> argparse.ArgumentParser:
     fig_sub.add_parser("list", help="enumerate the registered figures")
     fr_p = fig_sub.add_parser(
         "run", help="run figures through the sweep harness")
-    fr_p.add_argument("ids", nargs="+", metavar="FIG_ID",
-                      help="figure ids (see `repro figures list`)")
+    fr_p.add_argument("ids", nargs="*", metavar="FIG_ID",
+                      help="figure ids (see `repro figures list`); "
+                           "with --all they act as an --only filter")
+    fr_p.add_argument("--all", action="store_true",
+                      help="campaign mode: run every registered figure "
+                           "against one shared store and render "
+                           "REPRODUCTION.md + campaign.json")
+    fr_p.add_argument("--only", default=None, metavar="IDS",
+                      help="campaign filter: comma-separated figure ids "
+                           "to keep")
+    fr_p.add_argument("--skip", default=None, metavar="IDS",
+                      help="campaign filter: comma-separated figure ids "
+                           "to drop")
+    fr_p.add_argument("--tag", default=None, metavar="TAGS",
+                      help="campaign filter: keep figures carrying any "
+                           "of these comma-separated tags")
+    fr_p.add_argument("--scale", default=None,
+                      choices=("smoke", "quick", "full"),
+                      help="set REPRO_BENCH_SCALE for this run")
     fr_p.add_argument("--workers", type=int, default=None,
                       help="worker processes (default: "
                            "$REPRO_BENCH_WORKERS or 1)")
+    fr_p.add_argument("--figure-jobs", type=int, default=1,
+                      help="campaign mode: figures run concurrently "
+                           "(each with its own --workers pool)")
     fr_p.add_argument("--results-dir",
                       default=os.path.join("benchmarks", "results",
                                            "sweeps"),
-                      help="artifact store root (one subdir per figure)")
+                      help="artifact store root (one subdir per figure; "
+                           "campaign mode shares one 'campaign' subdir)")
+    fr_p.add_argument("--report", default="REPRODUCTION.md",
+                      help="campaign mode: markdown report path")
+    fr_p.add_argument("--json", dest="json_path", default="campaign.json",
+                      help="campaign mode: machine-readable record path")
     fr_p.add_argument("--fresh", action="store_true",
                       help="ignore and overwrite cached task results")
     fr_p.add_argument("--no-cache", action="store_true",
@@ -146,6 +177,23 @@ def _build_parser() -> argparse.ArgumentParser:
     fr_p.add_argument("--prune", action="store_true",
                       help="drop store artifacts not part of this "
                            "figure's current matrix")
+    fr_p.add_argument("--prune-stale", action="store_true",
+                      help="campaign mode: drop store artifacts whose "
+                           "simulator hash no longer matches the source")
+    fr_p.add_argument("--strict", action="store_true",
+                      help="campaign mode: exit non-zero on shape "
+                           "divergence, not just on figure errors")
+
+    docs_p = sub.add_parser(
+        "docs", help="generate documentation from the registry")
+    docs_sub = docs_p.add_subparsers(dest="docs_command", required=True)
+    df_p = docs_sub.add_parser(
+        "figures", help="write docs/figures/ pages from the registry")
+    df_p.add_argument("--out", default=os.path.join("docs", "figures"),
+                      help="output directory (default docs/figures)")
+    df_p.add_argument("--check", action="store_true",
+                      help="verify the committed pages match a fresh "
+                           "render; exit 1 on drift (CI mode)")
 
     fp_p = sub.add_parser("footprint", help="Table-1 memory accounting")
     fp_p.add_argument("--buffer", type=int, default=8)
@@ -254,6 +302,70 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if not incomplete else 1
 
 
+def _split_csv(raw: Optional[str]) -> List[str]:
+    return [s.strip() for s in raw.split(",") if s.strip()] if raw else []
+
+
+def _cmd_figures_campaign(args: argparse.Namespace, workers: int) -> int:
+    """``figures run --all``: the whole-paper campaign."""
+    from .harness.campaign import (
+        STATUSES,
+        run_campaign,
+        select_figures,
+        shared_store,
+    )
+    from .report import write_campaign_report
+    from .scenarios import figure_ids
+
+    if args.prune:
+        # --prune's keep-set semantics are per-figure; on the shared
+        # campaign store it would silently delete other figures'
+        # artifacts — the campaign spelling is --prune-stale
+        raise SystemExit(
+            "repro figures: --prune applies to single-figure runs; "
+            "use --prune-stale for campaigns")
+    try:
+        specs = select_figures(
+            only=_split_csv(args.only) + list(args.ids),
+            skip=_split_csv(args.skip), tags=_split_csv(args.tag))
+    except KeyError as exc:
+        raise SystemExit(f"repro figures: {exc.args[0]}")
+    if not specs:
+        raise SystemExit("repro figures: the --only/--skip/--tag "
+                         "filters selected no figures")
+    if args.no_cache:
+        if args.prune_stale:
+            raise SystemExit("repro figures: --prune-stale needs an "
+                             "artifact store; drop --no-cache")
+        store = None
+    else:
+        store = shared_store(args.results_dir)
+        if args.fresh:
+            store = _FreshStore(store.root)
+    print(f"campaign: {len(specs)} figure(s), workers={workers}, "
+          f"figure-jobs={args.figure_jobs}, "
+          f"store={store.root if store is not None else 'none'}")
+    campaign = run_campaign(
+        specs, workers=workers, figure_jobs=args.figure_jobs,
+        store=store, check=not args.no_check,
+        prune_stale=args.prune_stale, progress=True)
+    if len(specs) < len(figure_ids()) and \
+            args.report == "REPRODUCTION.md":
+        # the report itself is marked partial, but overwriting the
+        # committed whole-paper report deserves a visible heads-up
+        print("note: partial campaign overwrites REPRODUCTION.md; "
+              "pass --report to write the subset elsewhere")
+    report_path, json_path = write_campaign_report(
+        campaign, report_path=args.report, json_path=args.json_path)
+    counts = campaign.counts()
+    print(f"campaign done in {campaign.wall_s:.1f}s: "
+          + ", ".join(f"{counts[s]} {s}" for s in STATUSES)
+          + f"; {campaign.tasks} tasks ({campaign.executed} executed, "
+            f"{campaign.cached} cached)")
+    print(f"report: {report_path}; record: {json_path}")
+    return 0 if campaign.ok(strict=args.strict) else 1
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from .harness.sweep import task_key
     from .scenarios import figure_ids, get_figure, run_figure
@@ -263,11 +375,16 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         for fig_id in figure_ids():
             spec = get_figure(fig_id)
             rows.append((fig_id, spec.figure, len(spec.build()),
-                         spec.title))
+                         ",".join(spec.tags), spec.title))
         print(format_table("figure registry (`repro figures run <id>`)",
-                           ["id", "paper", "tasks", "title"], rows))
+                           ["id", "paper", "tasks", "tags", "title"],
+                           rows))
         return 0
 
+    if args.scale:
+        # matrices resolve the scale lazily at build time; workers
+        # inherit it through the (forked) environment
+        os.environ["REPRO_BENCH_SCALE"] = args.scale
     workers = args.workers
     if workers is None:
         # resolved here, not at parser build, so a malformed env var
@@ -279,6 +396,26 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             raise SystemExit(
                 f"repro figures: REPRO_BENCH_WORKERS must be an "
                 f"integer, got {raw!r}")
+    if args.all or args.only or args.skip or args.tag:
+        return _cmd_figures_campaign(args, workers)
+    if not args.ids:
+        raise SystemExit("repro figures run: provide FIG_ID(s) or "
+                         "--all (see `repro figures list`)")
+    # campaign-only flags must not be silent no-ops on the
+    # single-figure path — a user scripting report generation would
+    # get no file and no error
+    ignored = [flag for flag, is_set in (
+        ("--report", args.report != "REPRODUCTION.md"),
+        ("--json", args.json_path != "campaign.json"),
+        ("--figure-jobs", args.figure_jobs != 1),
+        ("--prune-stale", args.prune_stale),
+        ("--strict", args.strict),
+    ) if is_set]
+    if ignored:
+        raise SystemExit(
+            f"repro figures: {', '.join(ignored)} only appl"
+            f"{'ies' if len(ignored) == 1 else 'y'} to campaign mode "
+            f"(--all / --only / --skip / --tag)")
     # resolve every id up front: a typo in the last id must not cost
     # the minutes the earlier figures take to simulate
     try:
@@ -317,6 +454,25 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_docs(args: argparse.Namespace) -> int:
+    from .report import docs_drift, write_figure_docs
+
+    if args.check:
+        drift = docs_drift(args.out)
+        if drift:
+            for name in sorted(drift):
+                print(f"[DRIFT] {os.path.join(args.out, name)}: "
+                      f"{drift[name]}")
+            print(f"docs drift: {len(drift)} page(s) out of date — "
+                  f"run `repro docs figures` and commit the result")
+            return 1
+        print(f"docs check: {args.out} matches the registry")
+        return 0
+    written = write_figure_docs(args.out)
+    print(f"wrote {len(written)} page(s) under {args.out}")
+    return 0
+
+
 def _cmd_footprint(args: argparse.Namespace) -> int:
     cfg = RepsConfig(buffer_size=args.buffer, evs_size=args.evs,
                      ev_lifespan=args.lifespan)
@@ -335,6 +491,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
         "figures": _cmd_figures,
+        "docs": _cmd_docs,
         "footprint": _cmd_footprint,
     }
     return handlers[args.command](args)

@@ -41,6 +41,38 @@ def hbar(value: float, max_value: float, width: int = 40) -> str:
                        / max_value * width))
     return "#" * filled + "." * (width - filled)
 
+def bar_chart(items: Sequence[tuple], *, width: int = 40,
+              unit: str = "") -> str:
+    """Labeled horizontal bar chart of ``(label, value)`` pairs.
+
+    The scale is the finite maximum across values; non-finite or
+    missing values render as an empty bar marked ``n/a``.  This is the
+    campaign report's "figure": enough to eyeball orderings and rough
+    factors, which is all the paper-shape comparisons use.
+
+    >>> print(bar_chart([("ops", 2.0), ("reps", 1.0)], width=4))
+    ops   ####  2.00
+    reps  ##..  1.00
+    """
+    if not items:
+        return "(no data)"
+    finite = [v for _, v in items
+              if isinstance(v, (int, float)) and v == v
+              and v not in (float("inf"), float("-inf"))]
+    top = max(finite) if finite else 0.0
+    label_w = max(len(str(label)) for label, _ in items)
+    lines = []
+    for label, value in items:
+        if value in finite:
+            bar = hbar(float(value), top, width) if top > 0 \
+                else "." * width
+            suffix = f"{value:,.2f}{unit}"
+        else:
+            bar, suffix = "." * width, "n/a"
+        lines.append(f"{str(label):<{label_w}}  {bar}  {suffix}")
+    return "\n".join(lines)
+
+
 def render_port_series(
     times_us: Sequence[float],
     series: Dict[str, Sequence[float]],

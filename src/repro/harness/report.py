@@ -44,6 +44,18 @@ def _fmt(cell: object) -> str:
     return str(cell)
 
 
+def format_markdown_table(headers: Sequence[str],
+                          rows: Iterable[Sequence[object]]) -> str:
+    """Render a GitHub-flavored markdown table (used by the campaign
+    report generator; cells formatted like the ASCII tables)."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |",
+             "|" + "---|" * len(headers)]
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
 def speedups(baseline: float, values: Dict[str, float]) -> Dict[str, float]:
     """baseline / value per key (larger = faster than baseline)."""
     out = {}

@@ -31,6 +31,31 @@ Example::
                         store=ResultStore("benchmarks/results/sweeps/demo"))
     for group, agg in results.aggregate("max_fct_us").items():
         print(group, agg.mean, agg.percentile(99))
+
+Invariants:
+
+- **Content-key semantics.**  :func:`task_key` hashes the *complete*
+  identity of a result: the task parameters (with per-kind
+  ``WorkloadSpec`` field filtering, so inapplicable fields cannot mint
+  distinct keys for byte-identical runs), the artifact
+  ``SCHEMA_VERSION``, and :func:`simulator_version` — a content hash
+  of the simulator source tree.  Equal key ⟺ byte-identical payload;
+  editing the simulator silently invalidates every stored artifact.
+  Stores may therefore be shared across campaigns and figures (the
+  campaign runner's cross-figure dedup relies on this).
+- **Determinism.**  A task's RNG state depends only on the task itself
+  (explicit seed, or one spawned from a root via :func:`spawn_seeds`),
+  so serial and parallel executions of the same grid produce
+  byte-identical metrics, and duplicate tasks in one sweep execute
+  exactly once.
+- **Probe lifecycle.**  ``SweepTask.probes`` names entries of
+  :data:`~repro.harness.runner.RESULT_PROBES`; each probe runs once in
+  the worker that simulated the task, immediately after the run, and
+  its scalar outputs are persisted in the artifact's ``extra`` mapping
+  (probes are part of the content key: adding one re-runs the task).
+- **Store writes are atomic** (temp file + ``os.replace``), and the
+  ``manifest.json`` index is merged on every put and read-repaired on
+  every read, so concurrent campaigns sharing a store converge.
 """
 
 from __future__ import annotations
@@ -40,6 +65,7 @@ import json
 import math
 import multiprocessing
 import os
+import threading
 import time
 from dataclasses import asdict, dataclass, field
 from typing import (
@@ -405,7 +431,14 @@ class ResultStore:
     def _path(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.json")
 
-    def get(self, key: str) -> Optional[dict]:
+    def _read(self, key: str) -> Optional[dict]:
+        """What is actually on disk for ``key`` (schema-checked).
+
+        Kept separate from :meth:`get` so cache *policy* overrides
+        (``--fresh`` stores answer every lookup with a miss) cannot
+        change what maintenance paths like :meth:`prune` or
+        :meth:`manifest` believe exists.
+        """
         try:
             with open(self._path(key)) as fh:
                 payload = json.load(fh)
@@ -415,10 +448,14 @@ class ResultStore:
             return None
         return payload
 
+    def get(self, key: str) -> Optional[dict]:
+        return self._read(key)
+
     def _write_json(self, path: str, doc: dict) -> None:
-        # per-process temp name: concurrent campaigns sharing a store
+        # per-process *and* per-thread temp name: concurrent campaigns
+        # (and the campaign runner's figure threads) sharing a store
         # must not interleave writes before the atomic rename
-        tmp = path + f".{os.getpid()}.tmp"
+        tmp = path + f".{os.getpid()}.{threading.get_ident()}.tmp"
         with open(tmp, "w") as fh:
             json.dump(doc, fh, sort_keys=True)
         os.replace(tmp, path)
@@ -464,7 +501,7 @@ class ResultStore:
         for key in on_disk:
             if key in manifest:
                 continue
-            payload = self.get(key)
+            payload = self._read(key)
             if payload is not None:
                 try:
                     mtime = os.path.getmtime(self._path(key))
@@ -473,6 +510,20 @@ class ResultStore:
                 manifest[key] = self._manifest_entry(payload, mtime)
         for key in set(manifest) - set(on_disk):
             del manifest[key]
+        return manifest
+
+    def repair_manifest(self) -> Dict[str, dict]:
+        """Reconcile the index against the artifacts **and persist it**.
+
+        :meth:`manifest` repairs in memory only; this writes the
+        repaired index back so a lost or raced ``manifest.json`` is
+        fixed on disk (campaign runs call this after finishing).
+        """
+        manifest = self.manifest()
+        if manifest or os.path.isdir(self.root):
+            os.makedirs(self.root, exist_ok=True)
+            self._write_json(os.path.join(self.root, self.MANIFEST),
+                             manifest)
         return manifest
 
     def keys(self) -> List[str]:
@@ -497,7 +548,7 @@ class ResultStore:
             if keep_set is not None:
                 stale = key not in keep_set
             else:
-                payload = self.get(key)  # None for schema mismatches
+                payload = self._read(key)  # None for schema mismatch
                 stale = payload is None or \
                     payload.get("sim") != simulator_version()
             if stale:
@@ -719,14 +770,17 @@ class SweepResults:
 
 def run_sweep(grid: Union[SweepGrid, Iterable[SweepTask]], *,
               workers: int = 1, store: Optional[ResultStore] = None,
-              progress: bool = False) -> SweepResults:
+              progress: bool = False,
+              mp_context: Optional[str] = None) -> SweepResults:
     """Execute a campaign and return its (possibly cached) results.
 
     ``workers > 1`` fans pending tasks out over a ``multiprocessing``
     pool; results are identical to a serial run because each task's RNG
     state depends only on the task itself.  With a ``store``, finished
     tasks are skipped on re-runs and new results are persisted as they
-    arrive.
+    arrive.  ``mp_context`` selects the pool start method (e.g.
+    ``"spawn"``); callers that create pools from a multithreaded
+    process (the campaign runner's figure-level threads) must not fork.
     """
     tasks = grid.tasks() if isinstance(grid, SweepGrid) else list(grid)
     payloads: Dict[str, Dict[str, object]] = {}
@@ -750,7 +804,7 @@ def run_sweep(grid: Union[SweepGrid, Iterable[SweepTask]], *,
 
     if pending:
         if workers > 1:
-            ctx = multiprocessing.get_context()
+            ctx = multiprocessing.get_context(mp_context)
             n = min(workers, len(pending))
             with ctx.Pool(processes=n) as pool:
                 done = pool.imap_unordered(_pool_entry, pending, chunksize=1)

@@ -1,0 +1,39 @@
+"""Report generation: the self-documenting reproduction artifacts.
+
+One campaign run (:func:`repro.harness.campaign.run_campaign`) feeds
+two generators:
+
+- :mod:`repro.report.reproduction` renders ``REPRODUCTION.md`` — the
+  consolidated measured-vs-paper report with per-figure fidelity badges
+  and a provenance header — plus the machine-readable
+  ``campaign.json``.
+- :mod:`repro.report.figure_docs` renders ``docs/figures/`` straight
+  from the figure registry (no execution), so figure documentation is
+  a pure function of the specs and can never drift from code.
+
+Both share :mod:`repro.report.provenance` for the environment header.
+"""
+
+from .figure_docs import (
+    docs_drift,
+    render_figure_page,
+    render_index,
+    write_figure_docs,
+)
+from .provenance import collect_provenance
+from .reproduction import (
+    campaign_doc,
+    render_reproduction,
+    write_campaign_report,
+)
+
+__all__ = [
+    "campaign_doc",
+    "collect_provenance",
+    "docs_drift",
+    "render_figure_page",
+    "render_index",
+    "render_reproduction",
+    "write_campaign_report",
+    "write_figure_docs",
+]

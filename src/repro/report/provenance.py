@@ -1,0 +1,44 @@
+"""The environment/provenance header of every reproduction artifact.
+
+A reproduction claim is only auditable if the report says exactly what
+produced it: which source revision, which simulator content hash, at
+what scale, on which interpreter.  Everything here is collected without
+third-party dependencies; fields that cannot be determined degrade to
+``"unknown"`` instead of failing the report.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import time
+from typing import Dict
+
+from ..harness.scale import current_scale
+from ..harness.sweep import SCHEMA_VERSION, simulator_version
+
+
+def _git(*args: str) -> str:
+    try:
+        out = subprocess.run(
+            ["git", *args], capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return ""
+    return out.stdout.strip() if out.returncode == 0 else ""
+
+
+def collect_provenance() -> Dict[str, object]:
+    """Everything the report header states about this run's origin."""
+    sha = _git("rev-parse", "--short", "HEAD") or "unknown"
+    dirty = bool(_git("status", "--porcelain")) if sha != "unknown" \
+        else False
+    return {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                      time.gmtime()),
+        "git_sha": sha + ("-dirty" if dirty else ""),
+        "simulator_version": simulator_version(),
+        "schema_version": SCHEMA_VERSION,
+        "scale": current_scale().name,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }

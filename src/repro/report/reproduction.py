@@ -1,0 +1,286 @@
+"""``REPRODUCTION.md`` + ``campaign.json`` from one campaign run.
+
+The markdown report is the human-auditable artifact: a provenance
+header, a campaign summary table, then one fidelity-badged section per
+figure with the measured-vs-paper table (95% CIs where the figure
+aggregates seeds), an ASCII chart of the headline metric, and the
+spec's notes.  ``campaign.json`` carries the same content
+machine-readable, for CI trend tracking and external tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..harness.ascii_charts import bar_chart
+from ..harness.campaign import STATUSES, CampaignResult, FigureOutcome
+from ..harness.report import format_markdown_table
+from ..scenarios import figure_ids
+from .provenance import collect_provenance
+
+#: bump when the campaign.json layout changes
+REPORT_SCHEMA = 1
+
+#: status -> short explanation used in the report legend
+_LEGEND = {
+    "pass": "paper-shape checks hold",
+    "warn": "measured, but no shape check to verify against",
+    "fail": "measured numbers diverge from the paper's claimed shape",
+    "error": "figure did not execute (crash captured below)",
+}
+
+
+def _safe_table(outcome: FigureOutcome):
+    """The figure's table doc, fail-soft and computed once.
+
+    The campaign itself is fail-soft, but ``spec.table`` callables run
+    only at render time; a table that crashes (e.g. a hardcoded axis
+    key missing from a scale-reduced matrix) must cost one section's
+    table, never the whole report after the simulations already ran.
+    The result is memoized on the outcome so the markdown and JSON
+    renderers don't re-aggregate every figure's sweep.  Returns
+    ``(table_doc | None, error_message)``.
+    """
+    cached = getattr(outcome, "_table_cache", None)
+    if cached is not None:
+        return cached
+    if outcome.result is None:
+        value = (None, "")
+    else:
+        try:
+            value = (outcome.result.table_doc(), "")
+        except Exception:
+            import traceback
+            value = (None, traceback.format_exc(limit=4))
+    outcome._table_cache = value
+    return value
+
+
+def _finite(value):
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def _distinct_seeds(campaign: CampaignResult) -> int:
+    seeds = set()
+    for outcome in campaign:
+        if outcome.result is None:
+            continue
+        for task_result in outcome.result.sweep:
+            seeds.add(task_result.task.seed)
+    return len(seeds)
+
+
+def _is_number(cell) -> bool:
+    return isinstance(cell, (int, float)) and not isinstance(cell, bool)
+
+
+def _chart_column(headers: Sequence[str],
+                  rows: Sequence[Sequence[object]]
+                  ) -> Tuple[Optional[str], List[Tuple]]:
+    """``(column header, (label, value) pairs)`` for the section chart.
+
+    One column is chosen — the first (past the label column) that is
+    numeric in some row — and used for *every* row, so the chart never
+    mixes incomparable columns; rows where that cell is non-numeric
+    are skipped.
+    """
+    headers = list(headers)
+    rows = [list(r) for r in rows]
+    col = next((j for j in range(1, len(headers))
+                if any(len(r) > j and _is_number(r[j]) for r in rows)),
+               None)
+    if col is None:
+        return None, []
+    items = [(str(r[0]), float(r[col])) for r in rows
+             if len(r) > col and r and _is_number(r[col])]
+    return str(headers[col]) if col < len(headers) else None, items
+
+
+def _figure_section(outcome: FigureOutcome) -> str:
+    spec = outcome.spec
+    lines = [f"## {spec.fig_id} — {spec.figure} `{outcome.badge()}`", "",
+             spec.title, ""]
+    meta = (f"tags: {', '.join(spec.tags) or '—'} · metric: "
+            f"`{spec.metric}` · {outcome.n_tasks} tasks "
+            f"({outcome.executed} executed, {outcome.cached} cached) "
+            f"· {outcome.wall_s:.1f} s")
+    lines += [meta, ""]
+    if spec.doc:
+        lines += [spec.doc, ""]
+    if outcome.status == "error":
+        # a crash in the shape check still leaves measured results;
+        # only a figure that never executed has nothing to show
+        intro = "Figure did not execute:" if outcome.result is None \
+            else "Shape check crashed (measured results below):"
+        lines += [intro, "", "```text", outcome.error.rstrip(), "```",
+                  ""]
+        if outcome.result is None:
+            return "\n".join(lines)
+    if outcome.status == "fail":
+        lines += [f"> **Diverges from the paper:** {outcome.error}", ""]
+    table_doc, table_error = _safe_table(outcome)
+    if table_doc is None:
+        lines += ["Table renderer failed:", "", "```text",
+                  table_error.rstrip(), "```", ""]
+        return "\n".join(lines)
+    headers, rows, notes = table_doc
+    lines += [format_markdown_table(headers, rows), ""]
+    value_header, chart = _chart_column(headers, rows)
+    if len(chart) >= 2:
+        lines += ["```text", value_header or spec.metric,
+                  bar_chart(chart), "```", ""]
+    for note in notes:
+        lines += [f"*{note}*", ""]
+    return "\n".join(lines)
+
+
+def render_reproduction(campaign: CampaignResult,
+                        provenance: Optional[Dict[str, object]] = None
+                        ) -> str:
+    """The full ``REPRODUCTION.md`` body."""
+    prov = provenance if provenance is not None else collect_provenance()
+    counts = campaign.counts()
+    store_line = "(no artifact store)"
+    if campaign.store is not None:
+        store_line = (f"`{campaign.store.root}` "
+                      f"({len(campaign.store)} artifacts"
+                      + (f", {len(campaign.pruned)} pruned"
+                         if campaign.pruned else "") + ")")
+    registered = len(figure_ids())
+    if len(campaign) >= registered:
+        scope = ("Every registered paper figure, reproduced by one "
+                 "command (`repro figures run --all`)")
+    else:
+        # a filtered campaign must say so, or the committed full
+        # report could be silently replaced by a subset that still
+        # claims whole-paper coverage
+        scope = (f"**Partial campaign**: {len(campaign)} of the "
+                 f"{registered} registered paper figures "
+                 "(`--only/--skip/--tag` filters applied), reproduced")
+    head = [
+        "# REPS reproduction report", "",
+        scope + " through the shared sweep harness and judged against "
+        "the paper's shape claims.  Regenerate with:",
+        "", "```bash",
+        "PYTHONPATH=src python -m repro figures run --all "
+        f"--scale {prov['scale']}",
+        "```", "",
+        "## Provenance", "",
+        format_markdown_table(
+            ["field", "value"],
+            [["generated at", prov["generated_at"]],
+             ["git revision", f"`{prov['git_sha']}`"],
+             ["simulator hash", f"`{prov['simulator_version']}`"],
+             ["artifact schema", prov["schema_version"]],
+             ["bench scale", f"`{prov['scale']}`"],
+             ["python", prov["python"]],
+             ["platform", prov["platform"]],
+             ["campaign wall time", f"{campaign.wall_s:.1f} s"],
+             ["distinct seeds", _distinct_seeds(campaign)],
+             ["artifact store", store_line]]),
+        "",
+        "## Campaign summary", "",
+        format_markdown_table(
+            ["outcome", "figures", "meaning"],
+            [[f"`[{s.upper()}]`", counts[s], _LEGEND.get(s, s)]
+             for s in STATUSES]),
+        "",
+        f"{len(campaign)} figures · {campaign.tasks} tasks "
+        f"({campaign.executed} executed, {campaign.cached} served from "
+        "the content-keyed store — cross-figure dedup included).", "",
+        format_markdown_table(
+            ["figure", "paper", "status", "tasks", "executed", "cached",
+             "wall (s)"],
+            [[f"[`{o.fig_id}`](#{_anchor(o)})", o.spec.figure,
+              f"`{o.badge()}`", o.n_tasks, o.executed, o.cached,
+              round(o.wall_s, 1)] for o in campaign]),
+        "",
+    ]
+    sections = [_figure_section(outcome) for outcome in campaign]
+    return "\n".join(head) + "\n" + "\n".join(sections)
+
+
+def _anchor(outcome: FigureOutcome) -> str:
+    """GitHub anchor for a figure's section heading."""
+    text = (f"{outcome.spec.fig_id} — {outcome.spec.figure} "
+            f"{outcome.badge()}")
+    keep = [c for c in text.lower().replace(" ", "-")
+            if c.isalnum() or c in "-_"]
+    return "".join(keep)
+
+
+def campaign_doc(campaign: CampaignResult,
+                 provenance: Optional[Dict[str, object]] = None
+                 ) -> Dict[str, object]:
+    """The machine-readable campaign record (``campaign.json``)."""
+    prov = provenance if provenance is not None else collect_provenance()
+    counts = campaign.counts()
+    figures = []
+    for outcome in campaign:
+        doc = {
+            "fig_id": outcome.fig_id,
+            "figure": outcome.spec.figure,
+            "title": outcome.spec.title,
+            "tags": list(outcome.spec.tags),
+            "metric": outcome.spec.metric,
+            "status": outcome.status,
+            "error": outcome.error,
+            "wall_s": round(outcome.wall_s, 3),
+            "tasks": outcome.n_tasks,
+            "executed": outcome.executed,
+            "cached": outcome.cached,
+            "table": None,
+        }
+        table_doc, table_error = _safe_table(outcome)
+        if table_doc is not None:
+            headers, rows, notes = table_doc
+            doc["table"] = {
+                "headers": [str(h) for h in headers],
+                "rows": [[_finite(c) for c in row] for row in rows],
+                "notes": [str(n) for n in notes],
+            }
+        elif table_error and not doc["error"]:
+            doc["error"] = table_error
+        figures.append(doc)
+    return {
+        "schema": REPORT_SCHEMA,
+        "provenance": prov,
+        "summary": {
+            "figures": len(campaign),
+            "registered": len(figure_ids()),
+            **counts,
+            "tasks": campaign.tasks,
+            "executed": campaign.executed,
+            "cached": campaign.cached,
+            "distinct_seeds": _distinct_seeds(campaign),
+            "wall_s": round(campaign.wall_s, 3),
+            "pruned": len(campaign.pruned),
+            "store": (campaign.store.root
+                      if campaign.store is not None else None),
+        },
+        "figures": figures,
+    }
+
+
+def write_campaign_report(campaign: CampaignResult, *,
+                          report_path: str = "REPRODUCTION.md",
+                          json_path: str = "campaign.json"
+                          ) -> Tuple[str, str]:
+    """Render and write both artifacts; one provenance snapshot feeds
+    both so they can never disagree about their origin."""
+    prov = collect_provenance()
+    for path in (report_path, json_path):
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+    with open(report_path, "w") as fh:
+        fh.write(render_reproduction(campaign, prov))
+    with open(json_path, "w") as fh:
+        json.dump(campaign_doc(campaign, prov), fh, indent=2)
+        fh.write("\n")
+    return report_path, json_path

@@ -73,7 +73,8 @@ register(FigureSpec(
     title="Fig 14: load imbalance vs EVS size, 32 uplinks "
           "(paper vs measured)",
     build=_fig14_build, metric="average",
-    table=_fig14_table, check=_fig14_check))
+    table=_fig14_table, check=_fig14_check,
+    tags=("model", "analytic")))
 
 
 # ----------------------------------------------------------------------
@@ -115,7 +116,8 @@ register(FigureSpec(
     title="Fig 17: batched balls-into-bins, lam=0.99 (paper: queues "
           "grow; more ports grow faster)",
     build=_fig17_build, metric="round_1000",
-    table=_fig17_table, check=_fig17_check))
+    table=_fig17_table, check=_fig17_check,
+    tags=("model", "analytic")))
 
 
 # ----------------------------------------------------------------------
@@ -161,7 +163,8 @@ register(FigureSpec(
     title=f"Fig 18: balls-into-bins n={_FIG18_N}, tau={_FIG18_TAU} "
           "(paper: OPS unbounded, recycled <= tau)",
     build=_fig18_build, metric="tail_peak",
-    table=_fig18_table, check=_fig18_check))
+    table=_fig18_table, check=_fig18_check,
+    tags=("model", "analytic")))
 
 
 # ----------------------------------------------------------------------
@@ -211,7 +214,8 @@ register(FigureSpec(
     title=f"Fig 20: recycled bins under ACK coalescing (n={_FIG20_N}, "
           f"tau={_FIG20_TAU})",
     build=_fig20_build, metric="tail_avg",
-    table=_fig20_table, check=_fig20_check))
+    table=_fig20_table, check=_fig20_check,
+    tags=("model", "analytic", "coalescing")))
 
 
 # ----------------------------------------------------------------------
@@ -254,7 +258,8 @@ register(FigureSpec(
     fig_id="fig24", figure="Fig. 24",
     title="Fig 24: trace flow-size quantiles (bytes)",
     build=_fig24_build, metric="p50",
-    table=_fig24_table, check=_fig24_check))
+    table=_fig24_table, check=_fig24_check,
+    tags=("model", "analytic", "traces")))
 
 
 # ----------------------------------------------------------------------
@@ -304,4 +309,5 @@ register(FigureSpec(
     fig_id="table1", figure="Table 1",
     title="Table 1: REPS per-connection footprint (paper vs recomputed)",
     build=_table1_build, metric="total_bits",
-    table=_table1_table, check=_table1_check))
+    table=_table1_table, check=_table1_check,
+    tags=("model", "analytic")))

@@ -62,7 +62,8 @@ register(FigureSpec(
     fig_id="fig02", figure="Fig. 2",
     title="Fig 2: tornado micro (paper: REPS queues < Kmin, ~4% faster; "
           "OPS queues cross Kmin)",
-    build=_fig02_build, table=_fig02_table, check=_fig02_check))
+    build=_fig02_build, table=_fig02_table, check=_fig02_check,
+    tags=("sim", "baseline", "telemetry")))
 
 
 # ----------------------------------------------------------------------
@@ -125,7 +126,8 @@ register(FigureSpec(
     fig_id="fig03_synthetic", figure="Fig. 3 (left)",
     title="Fig 3 (left): speedup vs ECMP, symmetric network",
     build=_fig03_synthetic_build, table=_fig03_synthetic_table,
-    check=_fig03_synthetic_check))
+    check=_fig03_synthetic_check,
+    tags=("sim", "baseline")))
 
 
 def _fig03_traces_build() -> Dict[tuple, SweepTask]:
@@ -162,7 +164,8 @@ register(FigureSpec(
     fig_id="fig03_traces", figure="Fig. 3 (mid)",
     title="Fig 3 (mid): DC traces avg FCT vs load, symmetric network",
     build=_fig03_traces_build, metric="avg_fct_us",
-    table=_fig03_traces_table, check=_fig03_traces_check))
+    table=_fig03_traces_table, check=_fig03_traces_check,
+    tags=("sim", "baseline", "traces")))
 
 
 _FIG03_COLLECTIVES = (("alltoall", 4), ("alltoall", 8),
@@ -203,7 +206,8 @@ register(FigureSpec(
     fig_id="fig03_collectives", figure="Fig. 3 (right)",
     title="Fig 3 (right): collective runtimes (us)",
     build=_fig03_collectives_build, metric="finish_us",
-    table=_fig03_collectives_table, check=_fig03_collectives_check))
+    table=_fig03_collectives_table, check=_fig03_collectives_check,
+    tags=("sim", "baseline", "collectives")))
 
 
 # ----------------------------------------------------------------------
@@ -241,7 +245,8 @@ register(FigureSpec(
     fig_id="fig04", figure="Fig. 4",
     title="Fig 4: asymmetric micro (paper: OPS 1400us capped by slow "
           "link; REPS 799us, skews off it)",
-    build=_fig04_build, table=_fig04_table, check=_fig04_check))
+    build=_fig04_build, table=_fig04_table, check=_fig04_check,
+    tags=("sim", "asymmetry", "telemetry")))
 
 
 # ----------------------------------------------------------------------
@@ -287,7 +292,8 @@ register(FigureSpec(
     fig_id="fig05_synthetic", figure="Fig. 5 (left)",
     title="Fig 5 (left): speedup vs ECMP, 200G-degraded uplinks",
     build=_fig05_synthetic_build, table=_fig05_synthetic_table,
-    check=_fig05_synthetic_check))
+    check=_fig05_synthetic_check,
+    tags=("sim", "asymmetry")))
 
 
 def _fig05_traces_build() -> Dict[str, SweepTask]:
@@ -313,7 +319,8 @@ register(FigureSpec(
     fig_id="fig05_traces", figure="Fig. 5 (mid)",
     title="Fig 5 (mid): DC traces 100% load, degraded",
     build=_fig05_traces_build, metric="avg_fct_us",
-    table=_fig05_traces_table, check=_fig05_traces_check))
+    table=_fig05_traces_table, check=_fig05_traces_check,
+    tags=("sim", "asymmetry", "traces")))
 
 
 def _fig05_collectives_build() -> Dict[tuple, SweepTask]:
@@ -345,7 +352,8 @@ register(FigureSpec(
     fig_id="fig05_collectives", figure="Fig. 5 (right)",
     title="Fig 5 (right): collective runtimes (us), degraded",
     build=_fig05_collectives_build, metric="finish_us",
-    table=_fig05_collectives_table, check=_fig05_collectives_check))
+    table=_fig05_collectives_table, check=_fig05_collectives_check,
+    tags=("sim", "asymmetry", "collectives")))
 
 
 # ----------------------------------------------------------------------
@@ -382,4 +390,5 @@ register(FigureSpec(
     fig_id="fig06", figure="Fig. 6",
     title="Fig 6: 90% main traffic + 10% ECMP background (paper: REPS "
           "shifts away from ECMP paths, both sides win)",
-    build=_fig06_build, table=_fig06_table, check=_fig06_check))
+    build=_fig06_build, table=_fig06_table, check=_fig06_check,
+    tags=("sim", "baseline", "mixed")))

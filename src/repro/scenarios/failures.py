@@ -61,7 +61,8 @@ register(FigureSpec(
     fig_id="fig07", figure="Fig. 7",
     title="Fig 7: two transient cable failures (paper: REPS >35% "
           "faster, ~2.5x fewer drops)",
-    build=_fig07_build, table=_fig07_table, check=_fig07_check))
+    build=_fig07_build, table=_fig07_table, check=_fig07_check,
+    tags=("sim", "failures")))
 
 
 # ----------------------------------------------------------------------
@@ -132,7 +133,8 @@ register(FigureSpec(
     fig_id="fig08_permutation", figure="Fig. 8 (left)",
     title="Fig 8 (left): speedup vs OPS, 8 MiB permutation",
     build=_fig08_permutation_build, table=_fig08_permutation_table,
-    check=_fig08_permutation_check))
+    check=_fig08_permutation_check,
+    tags=("sim", "failures")))
 
 
 _FIG08_ALLREDUCE_MODES = ("one_cable", "5pct_cables")
@@ -166,7 +168,8 @@ register(FigureSpec(
     fig_id="fig08_allreduce", figure="Fig. 8 (right)",
     title="Fig 8 (right): ring AllReduce runtime (us) under failures",
     build=_fig08_allreduce_build, metric="finish_us",
-    table=_fig08_allreduce_table, check=_fig08_allreduce_check))
+    table=_fig08_allreduce_table, check=_fig08_allreduce_check,
+    tags=("sim", "failures", "collectives")))
 
 
 # ----------------------------------------------------------------------
@@ -226,7 +229,8 @@ register(FigureSpec(
     title="Fig 9: extreme failures (paper: REPS within 2-19% of "
           "Theoretical Best up to 50% failed cables; PLB 186-304% "
           "behind)",
-    build=_fig09_build, table=_fig09_table, check=_fig09_check))
+    build=_fig09_build, table=_fig09_table, check=_fig09_check,
+    tags=("sim", "failures")))
 
 
 # ----------------------------------------------------------------------
@@ -271,7 +275,8 @@ register(FigureSpec(
     title="Fig 10: FPGA-testbed goodput (sim substitute; 100G hosts, "
           "ideal share = ~100G sym)",
     build=_fig10_build, metric="avg_goodput_gbps",
-    table=_fig10_table, check=_fig10_check))
+    table=_fig10_table, check=_fig10_check,
+    tags=("sim", "failures", "testbed")))
 
 
 # ----------------------------------------------------------------------
@@ -303,7 +308,8 @@ register(FigureSpec(
     fig_id="fig11a", figure="Fig. 11a",
     title="Fig 11a: FCT distribution, asymmetric testbed (paper: REPS "
           "CDF left of OPS)",
-    build=_fig11a_build, table=_fig11a_table, check=_fig11a_check))
+    build=_fig11a_build, table=_fig11a_table, check=_fig11a_check,
+    tags=("sim", "failures", "testbed")))
 
 
 #: a T0-T1 link goes down mid-run and stays down (the testbed's control
@@ -340,7 +346,8 @@ register(FigureSpec(
     title="Fig 11b: packet drops after a persistent T0-T1 link failure "
           "(paper: REPS reduces drops by >70x at testbed timescales; "
           "shape = large factor)",
-    build=_fig11b_build, table=_fig11b_table, check=_fig11b_check))
+    build=_fig11b_build, table=_fig11b_table, check=_fig11b_check,
+    tags=("sim", "failures", "testbed")))
 
 
 # ----------------------------------------------------------------------
@@ -387,4 +394,5 @@ register(FigureSpec(
     fig_id="fig22", figure="Fig. 22",
     title="Fig 22: incremental persistent failures, 3 of 4 uplinks die "
           "(paper: OPS ~40x worse)",
-    build=_fig22_build, table=_fig22_table, check=_fig22_check))
+    build=_fig22_build, table=_fig22_table, check=_fig22_check,
+    tags=("sim", "failures")))

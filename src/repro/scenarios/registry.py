@@ -11,6 +11,28 @@ and a benchmark file shrinks to ``run_figure(fig_id)`` plus a report.
 
 Specs register at import time; importing :mod:`repro.scenarios` loads
 the full catalogue.
+
+Invariants:
+
+- **Registration order is paper order.**  ``REGISTRY`` iterates in the
+  order the spec modules register, which follows the paper's figure
+  numbering; campaign reports and generated docs rely on that order.
+- **Matrices are lazy and deterministic.**  ``FigureSpec.build`` runs at
+  execution (or doc-generation) time, so it resolves the current
+  ``REPRO_BENCH_SCALE``; for a fixed scale the same spec always expands
+  to the same tasks with the same content keys.  Nothing about a
+  figure's identity lives outside its spec — which is why
+  ``docs/figures/`` pages generated from the registry cannot drift from
+  the code.
+- **Probe lifecycle.**  A spec that needs telemetry names result probes
+  on its tasks (``SweepTask.probes``); the probes run once, inside the
+  worker that simulated the task, and their scalar outputs ride the
+  artifact's ``extra`` mapping.  ``FigureResult.value`` reads metrics
+  and probe outputs through one namespace, so tables and shape checks
+  do not care which side produced a number.
+- **Checks assert shape, not absolute numbers** (orderings and rough
+  factors vs the paper); a failing check raises :class:`AssertionError`
+  and is reported as a fidelity divergence, not a crash.
 """
 
 from __future__ import annotations
@@ -99,6 +121,12 @@ class FigureSpec:
     table: Optional[Callable[[FigureResult], TableDoc]] = None
     check: Optional[Callable[[FigureResult], None]] = None
     notes: Tuple[str, ...] = ()
+    #: campaign filter labels (``repro figures run --all --tag sim``);
+    #: by convention the first tag is the figure kind (sim | model)
+    tags: Tuple[str, ...] = ()
+    #: optional prose for the generated ``docs/figures/`` page — what
+    #: the figure demonstrates beyond what the title already says
+    doc: str = ""
 
 
 REGISTRY: Dict[str, FigureSpec] = {}
@@ -128,12 +156,14 @@ def figure_ids() -> List[str]:
 
 def run_figure(spec, *, workers: int = 1,
                store: Optional[ResultStore] = None,
-               progress: bool = False) -> FigureResult:
+               progress: bool = False,
+               mp_context: Optional[str] = None) -> FigureResult:
     """Expand a figure's matrix and execute it through the sweep
     harness (``spec`` may be a :class:`FigureSpec` or a registry id)."""
     if isinstance(spec, str):
         spec = get_figure(spec)
     tasks = spec.build()
     results = run_sweep(list(tasks.values()), workers=workers,
-                        store=store, progress=progress)
+                        store=store, progress=progress,
+                        mp_context=mp_context)
     return FigureResult(spec, tasks, results)

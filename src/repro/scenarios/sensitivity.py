@@ -60,7 +60,8 @@ register(FigureSpec(
     title="Fig 12 (left): ACK coalescing, no failures (paper: REPS "
           "ahead through 8:1, parity at 16:1)",
     build=_fig12_healthy_build, table=_fig12_healthy_table,
-    check=_fig12_healthy_check))
+    check=_fig12_healthy_check,
+    tags=("sim", "sensitivity", "coalescing")))
 
 
 def _fig12_failures_build() -> Dict[tuple, SweepTask]:
@@ -87,7 +88,8 @@ register(FigureSpec(
     title="Fig 12 (right): ACK coalescing with 5% failed cables "
           "(paper: REPS ~5x faster even at 16:1)",
     build=_fig12_failures_build, table=_fig12_failures_table,
-    check=_fig12_failures_check))
+    check=_fig12_failures_check,
+    tags=("sim", "sensitivity", "coalescing", "failures")))
 
 
 # ----------------------------------------------------------------------
@@ -148,7 +150,8 @@ register(FigureSpec(
     fig_id="fig13", figure="Fig. 13",
     title="Fig 13: REPS coalescing variants at 16:1 (paper: "
           "Carry/Reuse EVs are the preferred variants)",
-    build=_fig13_build, table=_fig13_table, check=_fig13_check))
+    build=_fig13_build, table=_fig13_table, check=_fig13_check,
+    tags=("sim", "sensitivity", "coalescing")))
 
 
 # ----------------------------------------------------------------------
@@ -190,7 +193,8 @@ register(FigureSpec(
     title="Fig 15 (left): EVS-size sensitivity (paper: REPS fine at "
           "256, ~8% off at 32; OPS 21%/64% slower)",
     build=_fig15_evs_build, table=_fig15_evs_table,
-    check=_fig15_evs_check))
+    check=_fig15_evs_check,
+    tags=("sim", "sensitivity")))
 
 
 def _fig15_cc_build() -> Dict[tuple, SweepTask]:
@@ -217,7 +221,8 @@ register(FigureSpec(
     title="Fig 15 (right): CC sensitivity (paper: REPS superior under "
           "every CC)",
     build=_fig15_cc_build, table=_fig15_cc_table,
-    check=_fig15_cc_check))
+    check=_fig15_cc_check,
+    tags=("sim", "sensitivity")))
 
 
 # ----------------------------------------------------------------------
@@ -272,7 +277,8 @@ register(FigureSpec(
     fig_id="fig16", figure="Fig. 16",
     title="Fig 16: topology scaling x EVS size (paper: REPS flat; OPS "
           "needs a large EVS, worsens with size)",
-    build=fig16_tasks, table=_fig16_table, check=_fig16_check))
+    build=fig16_tasks, table=_fig16_table, check=_fig16_check,
+    tags=("sim", "sensitivity", "scaling")))
 
 
 # ----------------------------------------------------------------------
@@ -316,7 +322,8 @@ register(FigureSpec(
     fig_id="fig19", figure="Fig. 19",
     title="Fig 19: forced freezing after 50us (paper: comparable to "
           "standard REPS, both ahead of OPS)",
-    build=_fig19_build, table=_fig19_table, check=_fig19_check))
+    build=_fig19_build, table=_fig19_table, check=_fig19_check,
+    tags=("sim", "sensitivity", "freezing")))
 
 
 # ----------------------------------------------------------------------
@@ -357,7 +364,8 @@ register(FigureSpec(
     fig_id="fig21", figure="Fig. 21",
     title="Fig 21: 3-tier fat tree, speedup vs ECMP (paper: comparable "
           "to the 2-tier results)",
-    build=_fig21_build, table=_fig21_table, check=_fig21_check))
+    build=_fig21_build, table=_fig21_table, check=_fig21_check,
+    tags=("sim", "sensitivity", "scaling")))
 
 
 # ----------------------------------------------------------------------
@@ -406,7 +414,8 @@ register(FigureSpec(
     fig_id="fig23", figure="Fig. 23",
     title="Fig 23: freezing-mode ablation (paper: ~25% gain under "
           "failures, none needed otherwise)",
-    build=_fig23_build, table=_fig23_table, check=_fig23_check))
+    build=_fig23_build, table=_fig23_table, check=_fig23_check,
+    tags=("sim", "sensitivity", "freezing", "failures")))
 
 
 # ----------------------------------------------------------------------
@@ -457,7 +466,8 @@ register(FigureSpec(
     fig_id="ablation_buffer_depth", figure="Ablation",
     title="Ablation: REPS buffer depth (paper picks 8)",
     build=_ablation_buffer_build, table=_ablation_buffer_table,
-    check=_ablation_buffer_check))
+    check=_ablation_buffer_check,
+    tags=("sim", "ablation")))
 
 
 # ----------------------------------------------------------------------
@@ -506,7 +516,8 @@ register(FigureSpec(
     fig_id="ablation_incremental", figure="Ablation",
     title="Ablation: legacy-ECMP share during incremental deployment",
     build=_ablation_deploy_build, table=_ablation_deploy_table,
-    check=_ablation_deploy_check))
+    check=_ablation_deploy_check,
+    tags=("sim", "ablation", "mixed")))
 
 
 # ----------------------------------------------------------------------
@@ -544,4 +555,5 @@ register(FigureSpec(
     fig_id="ablation_oversubscription", figure="Ablation",
     title="Ablation: oversubscription 1:1 .. 4:1 (8 MiB permutation)",
     build=_ablation_oversub_build, table=_ablation_oversub_table,
-    check=_ablation_oversub_check))
+    check=_ablation_oversub_check,
+    tags=("sim", "ablation")))

@@ -6,6 +6,23 @@ scheduled for the same instant fire in FIFO order, which keeps runs
 deterministic for a fixed seed.
 
 This replaces the htsim C++ event loop the paper builds on.
+
+Invariants (everything downstream — the sweep harness's content-keyed
+artifact cache, the serial-equals-parallel guarantee, the paper-shape
+checks — rests on these):
+
+- **Integer time.**  Timestamps are integer picoseconds; there is no
+  floating-point drift and no wall-clock input anywhere in the loop.
+- **Total event order.**  Events are ordered by ``(time_ps, seq)``;
+  ``seq`` never repeats, so heap order is a total order and two runs
+  that schedule the same events observe the same execution sequence.
+- **Determinism.**  Given the same initial schedule and the same
+  seeded RNGs in the callbacks, every run executes the identical event
+  sequence — which is why a ``SweepTask``'s results can be cached by a
+  content hash of its parameters alone.
+- **Monotonic ``now``.**  Callbacks only ever schedule at
+  ``time_ps >= now``; scheduling into the past raises rather than
+  silently reordering history.
 """
 
 from __future__ import annotations

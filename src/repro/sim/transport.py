@@ -19,6 +19,23 @@ ACK coalescing (Sec. 4.5.1): the receiver may acknowledge every ``n``-th
 packet.  A coalesced ACK carries all covered sequence numbers; it echoes
 either just the last packet's (EV, ECN) — standard — or the full list —
 the *Carry EVs* variant.
+
+Invariants:
+
+- **EV lifecycle.**  Every data packet leaves the sender with exactly
+  one entropy value drawn from the load balancer (``lb.next_ev``); the
+  receiver echoes that EV (plus the observed ECN mark) on the covering
+  ACK, and the sender feeds the echo back through ``lb.on_ack`` — for
+  REPS this is the *recycling* step that turns a congestion-free path
+  observation into the next packet's EV.  An EV is never rewritten in
+  flight; switches only read it.
+- **Loss discrimination.**  A trimming NACK re-queues the packet and
+  reports a congestion loss (no freezing); only an RTO expiry reports
+  a possible failure to the LB — the Appendix-A distinction that keeps
+  REPS from freezing on mere queue overflow.
+- **Determinism.**  All transport state advances only on engine events;
+  retransmission order, coalescing boundaries and EV echoes are pure
+  functions of the (seeded) run, never of host timing.
 """
 
 from __future__ import annotations

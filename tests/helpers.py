@@ -57,3 +57,37 @@ def make_switch(engine: Engine, n_up: int = 8, mode: str = "ecmp",
 
 def pkt(src: int = 0, dst: int = 100, ev: int = 0) -> Packet:
     return Packet(src=src, dst=dst, flow_id=0, seq=0, size=4096, ev=ev)
+
+
+# ----------------------------------------------------------------------
+# campaign/report stubs: tiny figures over the footprint model
+# ----------------------------------------------------------------------
+def footprint_task(buffer_size: int, seed: int = 1):
+    from repro.harness.sweep import make_model_task
+    return make_model_task("footprint", seed=seed,
+                           buffer_size=buffer_size, evs_size=65536)
+
+
+def stub_spec(fig_id: str, buffers=(1, 8), check=None, build=None):
+    """A tiny, fast FigureSpec over the footprint model."""
+    from repro.scenarios import FigureSpec
+
+    def default_build():
+        return {b: footprint_task(b) for b in buffers}
+    return FigureSpec(
+        fig_id=fig_id, figure="Stub", title=f"stub {fig_id}",
+        build=build or default_build, metric="total_bits",
+        check=check, tags=("stub",))
+
+
+def stub_registry():
+    """Three healthy figures; the middle one shares a task with the
+    first (cross-figure dedup), the last declares no check (warn)."""
+    def check_ok(result):
+        keys = sorted(result.keys())
+        assert result.value(keys[-1]) > result.value(keys[0])
+    return [
+        stub_spec("stub_a", buffers=(1, 8), check=check_ok),
+        stub_spec("stub_b", buffers=(8, 16), check=check_ok),
+        stub_spec("stub_c", buffers=(2,)),  # no check -> warn
+    ]

@@ -73,7 +73,8 @@ def test_bench_figure_honours_cache_env(tmp_path, monkeypatch):
     assert first.sweep.executed == len(first)
     again = _common.bench_figure("table1")
     assert again.sweep.cached == len(again)
-    assert (tmp_path / "sweeps" / "table1").is_dir()
+    # registered figures share the campaign store (cross-figure dedup)
+    assert (tmp_path / "sweeps" / "campaign").is_dir()
 
 
 def test_common_run_matrix_parallel_matches_serial():

@@ -215,6 +215,153 @@ class TestFigures:
         assert code == 0
 
 
+class TestFiguresCampaign:
+    """`figures run --all`: campaign mode over the model figures
+    (cheap) with report/record emission."""
+
+    def campaign(self, capsys, tmp_path, *extra):
+        return run_cli(
+            capsys, "figures", "run", "--only", "table1,fig24",
+            "--results-dir", str(tmp_path / "store"),
+            "--report", str(tmp_path / "REPRODUCTION.md"),
+            "--json", str(tmp_path / "campaign.json"), *extra)
+
+    def test_campaign_emits_report_and_record(self, capsys, tmp_path):
+        import json
+        code, out = self.campaign(capsys, tmp_path)
+        assert code == 0
+        assert "campaign done" in out
+        text = (tmp_path / "REPRODUCTION.md").read_text()
+        assert "## table1 — Table 1 `[PASS]`" in text
+        assert "## fig24 — Fig. 24 `[PASS]`" in text
+        assert "## Provenance" in text
+        doc = json.loads((tmp_path / "campaign.json").read_text())
+        assert doc["summary"]["figures"] == 2
+        assert {f["fig_id"] for f in doc["figures"]} == \
+            {"table1", "fig24"}
+
+    def test_campaign_rerun_hits_shared_store(self, capsys, tmp_path):
+        self.campaign(capsys, tmp_path)
+        code, out = self.campaign(capsys, tmp_path)
+        assert code == 0
+        assert "7 tasks (0 executed, 7 cached)" in out
+
+    def test_ids_act_as_only_filter_with_all(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "figures", "run", "table1", "--all",
+            "--results-dir", str(tmp_path / "store"),
+            "--report", str(tmp_path / "R.md"),
+            "--json", str(tmp_path / "c.json"))
+        assert code == 0
+        assert "campaign: 1 figure(s)" in out
+
+    def test_tag_filter_composes_with_only(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "figures", "run", "--tag", "analytic",
+            "--only", "table1",
+            "--results-dir", str(tmp_path / "store"),
+            "--report", str(tmp_path / "R.md"),
+            "--json", str(tmp_path / "c.json"))
+        assert code == 0
+        assert "campaign: 1 figure(s)" in out
+
+    def test_empty_selection_fails_cleanly(self, capsys, tmp_path):
+        with pytest.raises(SystemExit, match="selected no figures"):
+            run_cli(capsys, "figures", "run", "--tag", "analytic",
+                    "--skip", "fig14,fig17,fig18,fig20,fig24,table1",
+                    "--results-dir", str(tmp_path))
+
+    def test_unknown_filter_id_fails_cleanly(self, capsys, tmp_path):
+        with pytest.raises(SystemExit, match="figures list"):
+            run_cli(capsys, "figures", "run", "--only", "fig99",
+                    "--results-dir", str(tmp_path))
+
+    def test_run_without_ids_or_all_fails(self, capsys, tmp_path):
+        with pytest.raises(SystemExit, match="--all"):
+            run_cli(capsys, "figures", "run",
+                    "--results-dir", str(tmp_path))
+
+    def test_divergence_is_soft_unless_strict(self, capsys, tmp_path,
+                                              monkeypatch):
+        from repro.scenarios import registry
+
+        def boom(result):
+            raise AssertionError("shape off")
+        spec = registry.get_figure("table1")
+        monkeypatch.setitem(
+            registry.REGISTRY, "table1",
+            type(spec)(**{**spec.__dict__, "check": boom}))
+        code, _out = self.campaign(capsys, tmp_path)
+        assert code == 0  # fail badge, but the campaign completed
+        text = (tmp_path / "REPRODUCTION.md").read_text()
+        assert "`[FAIL]`" in text
+        assert "shape off" in text
+        code, _out = self.campaign(capsys, tmp_path, "--strict")
+        assert code == 1
+
+    def test_campaign_only_flags_rejected_in_single_mode(
+            self, capsys, tmp_path):
+        for flags in (["--strict"], ["--prune-stale"],
+                      ["--figure-jobs", "2"],
+                      ["--report", str(tmp_path / "R.md")]):
+            with pytest.raises(SystemExit, match="campaign mode"):
+                run_cli(capsys, "figures", "run", "table1",
+                        "--results-dir", str(tmp_path), *flags)
+
+    def test_prune_stale_needs_a_store(self, capsys, tmp_path):
+        with pytest.raises(SystemExit, match="drop --no-cache"):
+            run_cli(capsys, "figures", "run", "--only", "table1",
+                    "--no-cache", "--prune-stale",
+                    "--results-dir", str(tmp_path))
+
+    def test_prune_rejected_in_campaign_mode(self, capsys, tmp_path):
+        with pytest.raises(SystemExit, match="prune-stale"):
+            run_cli(capsys, "figures", "run", "--only", "table1",
+                    "--prune", "--results-dir", str(tmp_path))
+
+    def test_prune_stale_flag(self, capsys, tmp_path):
+        import json
+        import os
+        self.campaign(capsys, tmp_path)
+        stale = os.path.join(str(tmp_path / "store"), "campaign",
+                             "feedface.json")
+        with open(stale, "w") as fh:
+            json.dump({"schema": 2, "sim": "0" * 16, "metrics": {},
+                       "task": {"label": "ghost", "seed": 1}}, fh)
+        code, _out = self.campaign(capsys, tmp_path, "--prune-stale")
+        assert code == 0
+        assert not os.path.exists(stale)
+
+    def test_scale_flag_sets_bench_scale(self, capsys, tmp_path,
+                                         monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+        code, _out = self.campaign(capsys, tmp_path, "--scale", "smoke")
+        assert code == 0
+        text = (tmp_path / "REPRODUCTION.md").read_text()
+        assert "| bench scale | `smoke` |" in text
+
+
+class TestDocs:
+    def test_generate_then_check_clean(self, capsys, tmp_path):
+        code, out = run_cli(capsys, "docs", "figures",
+                            "--out", str(tmp_path))
+        assert code == 0
+        from repro.scenarios import REGISTRY
+        assert f"wrote {len(REGISTRY) + 1} page(s)" in out
+        code, out = run_cli(capsys, "docs", "figures",
+                            "--out", str(tmp_path), "--check")
+        assert code == 0
+        assert "matches the registry" in out
+
+    def test_check_flags_drift(self, capsys, tmp_path):
+        run_cli(capsys, "docs", "figures", "--out", str(tmp_path))
+        (tmp_path / "fig07.md").write_text("hand edited\n")
+        code, out = run_cli(capsys, "docs", "figures",
+                            "--out", str(tmp_path), "--check")
+        assert code == 1
+        assert "[DRIFT]" in out and "fig07.md: stale" in out
+
+
 class TestFootprint:
     def test_table1_defaults(self, capsys):
         code, out = run_cli(capsys, "footprint")
