@@ -3,7 +3,9 @@
 Every benchmark regenerates one table/figure of the paper by executing
 its :class:`repro.scenarios.FigureSpec` through the sweep harness:
 :func:`bench_figure` runs the registered matrix (parallel workers via
-``REPRO_BENCH_WORKERS``, cached artifacts via ``REPRO_BENCH_CACHE=1``),
+``REPRO_BENCH_WORKERS``, execution backend via ``REPRO_BACKEND`` —
+serial / process / batched / shard, cached artifacts via
+``REPRO_BENCH_CACHE=1``),
 :func:`bench_report` prints the figure's paper-vs-measured table (also
 written to ``benchmarks/results/<fig_id>.txt``), and
 ``FigureResult.check()`` asserts the paper's *shape* claims — orderings
@@ -58,6 +60,13 @@ def bench_workers() -> int:
     """Worker processes for benchmark matrices (``REPRO_BENCH_WORKERS``,
     default serial so pytest-benchmark timings stay comparable)."""
     return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+
+
+# NOTE: benchmarks select their execution backend through the same
+# ``$REPRO_BACKEND`` resolution every run_sweep/run_figure call
+# performs (repro.harness.backends.resolve_backend) — there is
+# deliberately no local helper, so the resolution rule lives in
+# exactly one place.
 
 
 def _store(name: str) -> Optional[ResultStore]:

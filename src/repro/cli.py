@@ -1,18 +1,26 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Six subcommands cover the common interactive uses:
+Seven subcommands cover the common interactive uses:
 
 - ``run``: one simulation (pattern x load balancer) with a metrics line,
 - ``compare``: the same workload under several load balancers,
 - ``sweep``: a parallel lb x seed x workload campaign with cached
   results and across-seed aggregation,
 - ``figures``: the declarative paper-figure registry — ``list`` the
-  catalogue, ``run`` any figure's matrix through the sweep harness, or
+  catalogue, ``run`` any figure's matrix through the sweep harness,
   ``run --all`` to reproduce the whole paper in one campaign that
-  renders ``REPRODUCTION.md`` + ``campaign.json``,
+  renders ``REPRODUCTION.md`` + ``campaign.json``, or ``trend`` to
+  diff two ``campaign.json`` records for regressions,
+- ``shard``: scale a campaign out over hosts — ``plan`` deterministic
+  shard manifests, ``run`` one shard anywhere against a local store,
+  ``merge`` the shard stores back into one,
 - ``docs``: regenerate (or drift-check) the ``docs/figures/`` pages
   from the registry,
 - ``footprint``: print the Table-1 memory accounting.
+
+Campaign-scale commands accept ``--backend`` (or ``$REPRO_BACKEND``)
+to pick the execution backend: ``serial``, ``process``, ``batched``,
+or ``shard`` (see :mod:`repro.harness.backends`).
 
 Examples::
 
@@ -22,8 +30,14 @@ Examples::
         --seeds 1,2,3,4 --workers 4 --name tornado-demo
     python -m repro figures list
     python -m repro figures run fig07 fig08_permutation --workers 4
-    python -m repro figures run --all --scale smoke --workers 4
+    python -m repro figures run --all --scale smoke --workers 4 \\
+        --backend batched
     python -m repro figures run --all --tag failures --skip fig09
+    python -m repro figures trend old-campaign.json campaign.json --strict
+    python -m repro shard plan --shards 4 --scale smoke --out plan/
+    python -m repro shard run plan/shard-0.json --store stores/shard-0
+    python -m repro shard merge --into stores/merged/campaign \\
+        stores/shard-0 stores/shard-1
     python -m repro docs figures --check
     python -m repro run --lb reps --fail-uplink 0 --fail-at 50 --fail-for 200
     python -m repro footprint --buffer 8 --evs 65536
@@ -38,6 +52,7 @@ from typing import List, Optional
 
 from .core.footprint import compute_footprint
 from .core.reps import RepsConfig
+from .harness.backends import backend_names
 from .harness.report import format_sweep_table, format_table
 from .harness.sweep import ResultStore, SweepGrid, WorkloadSpec, run_sweep
 from .sim.network import Network, NetworkConfig
@@ -116,6 +131,9 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="number of seeds spawned from --root-seed")
     sw_p.add_argument("--workers", type=int, default=1,
                       help="worker processes (1 = serial)")
+    sw_p.add_argument("--backend", default=None, choices=backend_names(),
+                      help="execution backend (default: $REPRO_BACKEND, "
+                           "else serial/process by --workers)")
     sw_p.add_argument("--max-us", type=float, default=2_000_000.0)
     sw_p.add_argument("--metric", default="max_fct_us",
                       help="metric to aggregate across seeds")
@@ -156,6 +174,9 @@ def _build_parser() -> argparse.ArgumentParser:
     fr_p.add_argument("--workers", type=int, default=None,
                       help="worker processes (default: "
                            "$REPRO_BENCH_WORKERS or 1)")
+    fr_p.add_argument("--backend", default=None, choices=backend_names(),
+                      help="execution backend (default: $REPRO_BACKEND, "
+                           "else serial/process by --workers)")
     fr_p.add_argument("--figure-jobs", type=int, default=1,
                       help="campaign mode: figures run concurrently "
                            "(each with its own --workers pool)")
@@ -183,6 +204,57 @@ def _build_parser() -> argparse.ArgumentParser:
     fr_p.add_argument("--strict", action="store_true",
                       help="campaign mode: exit non-zero on shape "
                            "divergence, not just on figure errors")
+    tr_p = fig_sub.add_parser(
+        "trend", help="regression deltas between two campaign.json "
+                      "records")
+    tr_p.add_argument("old", help="baseline campaign.json")
+    tr_p.add_argument("new", help="candidate campaign.json")
+    tr_p.add_argument("--tol", type=float, default=0.0,
+                      help="relative metric-drift tolerance "
+                           "(default 0: byte-exact gate)")
+    tr_p.add_argument("--strict", action="store_true",
+                      help="exit non-zero on any regression (worse "
+                           "badge, metric drift, lost coverage)")
+
+    shard_p = sub.add_parser(
+        "shard", help="scale a campaign out: plan / run / merge")
+    shard_sub = shard_p.add_subparsers(dest="shard_command",
+                                       required=True)
+    sp_p = shard_sub.add_parser(
+        "plan", help="partition the campaign grid into shard manifests")
+    sp_p.add_argument("--shards", type=int, default=2,
+                      help="number of shards to plan (default 2)")
+    sp_p.add_argument("--out", default="shard-plan",
+                      help="directory for shard-<i>.json manifests")
+    sp_p.add_argument("--only", default=None, metavar="IDS",
+                      help="comma-separated figure ids to keep")
+    sp_p.add_argument("--skip", default=None, metavar="IDS",
+                      help="comma-separated figure ids to drop")
+    sp_p.add_argument("--tag", default=None, metavar="TAGS",
+                      help="keep figures carrying any of these tags")
+    sp_p.add_argument("--scale", default=None,
+                      choices=("smoke", "quick", "full"),
+                      help="set REPRO_BENCH_SCALE for the plan (the "
+                           "scale is recorded in every manifest)")
+    sr_p = shard_sub.add_parser(
+        "run", help="execute one shard manifest against a local store")
+    sr_p.add_argument("manifest", help="shard-<i>.json from `shard plan`")
+    sr_p.add_argument("--store", required=True,
+                      help="local artifact-store directory for this "
+                           "shard's results")
+    sr_p.add_argument("--workers", type=int, default=1,
+                      help="worker processes (1 = serial)")
+    sr_p.add_argument("--backend", default=None, choices=backend_names(),
+                      help="execution backend for this shard's tasks")
+    sm_p = shard_sub.add_parser(
+        "merge", help="fold shard stores into one campaign store")
+    sm_p.add_argument("sources", nargs="+", metavar="STORE",
+                      help="shard store directories to merge")
+    sm_p.add_argument("--into", required=True,
+                      help="destination store (use "
+                           "<results-dir>/campaign so `repro figures "
+                           "run --all --results-dir <results-dir>` "
+                           "finds it)")
 
     docs_p = sub.add_parser(
         "docs", help="generate documentation from the registry")
@@ -267,7 +339,20 @@ class _FreshStore(ResultStore):
         return None
 
 
+def _check_backend_env() -> None:
+    """Fail a sweep-running command cleanly on a bad ``$REPRO_BACKEND``
+    (``--backend`` is argparse-validated; the env var is not)."""
+    from .harness.backends import BACKEND_ENV
+
+    raw = os.environ.get(BACKEND_ENV)
+    if raw and raw not in backend_names():
+        raise SystemExit(
+            f"repro: {BACKEND_ENV}={raw!r} is not a known backend; "
+            f"one of {', '.join(backend_names())}")
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    _check_backend_env()
     workload = WorkloadSpec(
         kind="synthetic", pattern=args.pattern,
         msg_bytes=int(args.mib * 1024 * 1024), fan_in=args.fan_in)
@@ -290,7 +375,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     store_cls = _FreshStore if args.fresh else ResultStore
     store = store_cls(os.path.join(args.results_dir, args.name))
     results = run_sweep(grid, workers=args.workers, store=store,
-                        progress=True)
+                        progress=True, backend=args.backend)
     print(format_sweep_table(
         f"sweep '{args.name}': {args.pattern} {args.mib} MiB on "
         f"{args.hosts} hosts", results, args.metric))
@@ -348,7 +433,8 @@ def _cmd_figures_campaign(args: argparse.Namespace, workers: int) -> int:
     campaign = run_campaign(
         specs, workers=workers, figure_jobs=args.figure_jobs,
         store=store, check=not args.no_check,
-        prune_stale=args.prune_stale, progress=True)
+        prune_stale=args.prune_stale, progress=True,
+        backend=args.backend)
     if len(specs) < len(figure_ids()) and \
             args.report == "REPRODUCTION.md":
         # the report itself is marked partial, but overwriting the
@@ -366,10 +452,28 @@ def _cmd_figures_campaign(args: argparse.Namespace, workers: int) -> int:
     return 0 if campaign.ok(strict=args.strict) else 1
 
 
+def _cmd_figures_trend(args: argparse.Namespace) -> int:
+    """``figures trend``: diff two campaign.json records."""
+    from .report import diff_campaigns, load_record, render_trend
+
+    try:
+        old_doc = load_record(args.old)
+        new_doc = load_record(args.new)
+    except ValueError as exc:
+        raise SystemExit(f"repro figures trend: {exc}")
+    if args.tol < 0:
+        raise SystemExit("repro figures trend: --tol must be >= 0")
+    report = diff_campaigns(old_doc, new_doc, tol=args.tol)
+    print(render_trend(report))
+    return 0 if (report.clean or not args.strict) else 1
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from .harness.sweep import task_key
     from .scenarios import figure_ids, get_figure, run_figure
 
+    if args.figures_command == "trend":
+        return _cmd_figures_trend(args)
     if args.figures_command == "list":
         rows = []
         for fig_id in figure_ids():
@@ -381,6 +485,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
                            rows))
         return 0
 
+    _check_backend_env()
     if args.scale:
         # matrices resolve the scale lazily at build time; workers
         # inherit it through the (forked) environment
@@ -430,7 +535,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             store_cls = _FreshStore if args.fresh else ResultStore
             store = store_cls(os.path.join(args.results_dir, fig_id))
         result = run_figure(spec, workers=workers, store=store,
-                            progress=True)
+                            progress=True, backend=args.backend)
         headers, rows, notes = result.table_doc()
         print(format_table(spec.title, headers, rows))
         for note in notes:
@@ -452,6 +557,118 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             else:
                 print(f"[OK ] {fig_id} paper-shape checks hold")
     return 0 if ok else 1
+
+
+def _cmd_shard_plan(args: argparse.Namespace) -> int:
+    from .harness.backends import plan_manifests, write_shard_plan
+    from .harness.campaign import select_figures
+    from .harness.scale import current_scale
+    from .harness.sweep import task_key
+
+    if args.shards < 1:
+        raise SystemExit("repro shard plan: --shards must be >= 1")
+    if args.scale:
+        os.environ["REPRO_BENCH_SCALE"] = args.scale
+    try:
+        specs = select_figures(only=_split_csv(args.only),
+                               skip=_split_csv(args.skip),
+                               tags=_split_csv(args.tag))
+    except KeyError as exc:
+        raise SystemExit(f"repro shard plan: {exc.args[0]}")
+    if not specs:
+        raise SystemExit("repro shard plan: the --only/--skip/--tag "
+                         "filters selected no figures")
+    figures, by_key = [], {}
+    for spec in specs:
+        # mirror the campaign's fail-soft behaviour: a figure whose
+        # matrix cannot build contributes no tasks on any host, so
+        # skipping it keeps shards equal to a single-host run
+        try:
+            tasks = spec.build()
+        except Exception as exc:
+            print(f"warning: skipping {spec.fig_id}: matrix failed to "
+                  f"build ({exc})")
+            continue
+        figures.append(spec.fig_id)
+        for task in tasks.values():
+            by_key.setdefault(task_key(task), task)
+    manifests = plan_manifests(figures, list(by_key), args.shards,
+                               current_scale().name)
+    paths = write_shard_plan(args.out, manifests)
+    sizes = ", ".join(str(len(m["keys"])) for m in manifests)
+    print(f"planned {len(by_key)} task(s) from {len(figures)} "
+          f"figure(s) into {args.shards} shard(s) [{sizes}] "
+          f"at scale {current_scale().name}")
+    for path in paths:
+        print(f"  {path}")
+    return 0
+
+
+def _cmd_shard_run(args: argparse.Namespace) -> int:
+    from .harness.backends import (
+        expand_figures,
+        load_shard_manifest,
+        shard_origin,
+        tasks_for_manifest,
+    )
+    from .harness.sweep import simulator_version
+
+    _check_backend_env()
+    try:
+        manifest = load_shard_manifest(args.manifest)
+    except ValueError as exc:
+        raise SystemExit(f"repro shard run: {exc}")
+    os.environ["REPRO_BENCH_SCALE"] = manifest["scale"]
+    if simulator_version() != manifest["sim"]:
+        raise SystemExit(
+            f"repro shard run: simulator {simulator_version()} does "
+            f"not match the plan's {manifest['sim']}; shards from "
+            f"different source revisions can never merge — check out "
+            f"the planning commit or re-plan")
+    # shard identity for anything provenance-aware running below us
+    os.environ["REPRO_SHARD"] = \
+        f"{manifest['shard']}/{manifest['n_shards']}"
+    try:
+        tasks = tasks_for_manifest(manifest,
+                                   expand_figures(manifest["figures"]))
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"repro shard run: {exc}")
+    store = ResultStore(args.store, origin=shard_origin(manifest))
+    if not tasks:
+        # still materialize the (empty) store: scripts merge every
+        # planned shard, and `shard merge` rejects missing directories
+        os.makedirs(store.root, exist_ok=True)
+        print(f"{shard_origin(manifest)}: empty shard, nothing to run")
+        return 0
+    results = run_sweep(tasks, workers=args.workers, store=store,
+                        progress=True, backend=args.backend)
+    print(f"{shard_origin(manifest)}: {len(results)} task(s) "
+          f"({results.executed} executed, {results.cached} cached) "
+          f"-> {store.root}")
+    return 0
+
+
+def _cmd_shard_merge(args: argparse.Namespace) -> int:
+    dest = ResultStore(args.into)
+    total = 0
+    for src in args.sources:
+        if not os.path.isdir(src):
+            raise SystemExit(f"repro shard merge: {src} is not a "
+                             f"store directory")
+        merged = dest.merge_from(ResultStore(src))
+        total += len(merged)
+        print(f"merged {len(merged)} artifact(s) from {src}")
+    print(f"store {dest.root}: {len(dest)} artifact(s) "
+          f"({total} newly merged)")
+    return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    return {
+        "plan": _cmd_shard_plan,
+        "run": _cmd_shard_run,
+        "merge": _cmd_shard_merge,
+    }[args.shard_command](args)
 
 
 def _cmd_docs(args: argparse.Namespace) -> int:
@@ -491,6 +708,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
         "figures": _cmd_figures,
+        "shard": _cmd_shard,
         "docs": _cmd_docs,
         "footprint": _cmd_footprint,
     }

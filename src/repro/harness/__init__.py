@@ -31,6 +31,13 @@ from .runner import (
     run_trace,
 )
 from .scale import FULL, QUICK, SMOKE, Scale, current_scale
+from .backends import (
+    BACKENDS,
+    Backend,
+    backend_names,
+    make_backend,
+    resolve_backend,
+)
 from .sweep import (
     FailureSpec,
     ResultStore,
@@ -65,4 +72,6 @@ __all__ = [
     "WorkloadSpec", "FailureSpec", "ResultStore",
     "make_task", "make_model_task", "task_key", "run_sweep",
     "spawn_seeds", "execute_task", "simulator_version",
+    "BACKENDS", "Backend", "backend_names", "make_backend",
+    "resolve_backend",
 ]

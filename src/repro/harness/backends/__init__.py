@@ -1,0 +1,125 @@
+"""Pluggable execution backends for the sweep harness.
+
+``run_sweep`` (and everything above it: figures, campaigns, the
+benchmarks) selects *how* pending tasks execute by backend name —
+``--backend`` on the CLI, ``REPRO_BACKEND`` in the environment, or a
+:class:`~.base.Backend` instance through the library API:
+
+- ``serial``  — in-process, in order; the debuggable reference.
+- ``process`` — one ``multiprocessing`` dispatch per task (the
+  historical ``workers=N`` pool).
+- ``batched`` — interleaved task batches per worker with batched
+  artifact-store writes; amortizes dispatch and manifest I/O on
+  matrices of short tasks.
+- ``shard``   — partition / run-per-shard / merge, in-process; the
+  continuously-tested rehearsal of the ``repro shard`` multi-host
+  flow.
+
+All backends produce byte-identical artifacts for the same grid (the
+equivalence suite in ``tests/harness/test_backends.py`` enforces it),
+so backend choice never invalidates a store.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from typing import Optional, Union
+
+from .base import Backend, ProgressCb
+from .batched import BatchedBackend
+from .process import ProcessBackend
+from .serial import SerialBackend
+from .shard import (
+    SHARD_SCHEMA,
+    ShardBackend,
+    expand_figures,
+    load_shard_manifest,
+    plan_manifests,
+    shard_origin,
+    shard_partition,
+    tasks_for_manifest,
+    write_shard_plan,
+)
+
+#: the env var naming the default backend for this process tree
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: registry: ``--backend`` / ``REPRO_BACKEND`` name -> implementation
+BACKENDS = {
+    SerialBackend.name: SerialBackend,
+    ProcessBackend.name: ProcessBackend,
+    BatchedBackend.name: BatchedBackend,
+    ShardBackend.name: ShardBackend,
+}
+
+#: what ``resolve_backend(None)`` falls back to, by worker count
+_DEFAULTS = {False: SerialBackend.name, True: ProcessBackend.name}
+
+
+def backend_names() -> list:
+    """Registered backend names, stable order for CLI choices."""
+    return sorted(BACKENDS)
+
+
+def make_backend(name: str, *, workers: int = 1,
+                 mp_context: Optional[str] = None, **kwargs) -> Backend:
+    """Instantiate a backend by registry name."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; one of {backend_names()}"
+        ) from None
+    if cls is SerialBackend:
+        return cls(**kwargs)
+    return cls(workers=workers, mp_context=mp_context, **kwargs)
+
+
+def resolve_backend(spec: Union[Backend, str, None] = None, *,
+                    workers: int = 1,
+                    mp_context: Optional[str] = None) -> Backend:
+    """The backend a caller asked for, however they asked.
+
+    ``spec`` may be a ready :class:`Backend`, a registry name, or
+    ``None`` — which consults ``$REPRO_BACKEND`` and finally defaults
+    to ``serial`` (``workers <= 1``) or ``process`` (``workers > 1``),
+    preserving the harness's historical behaviour when nobody opts in.
+
+    A ready instance is returned as-is — except that a caller-required
+    ``mp_context`` (the threaded campaign runner forces ``"spawn"``
+    for fork safety) is applied to a pool-owning instance that never
+    chose one, via a shallow copy so the caller's object stays
+    untouched.
+    """
+    if isinstance(spec, Backend):
+        if mp_context is not None and \
+                getattr(spec, "mp_context", mp_context) is None:
+            spec = copy.copy(spec)
+            spec.mp_context = mp_context
+        return spec
+    name = spec or os.environ.get(BACKEND_ENV) or _DEFAULTS[workers > 1]
+    return make_backend(name, workers=workers, mp_context=mp_context)
+
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
+    "Backend",
+    "BatchedBackend",
+    "ProcessBackend",
+    "ProgressCb",
+    "SHARD_SCHEMA",
+    "SerialBackend",
+    "ShardBackend",
+    "backend_names",
+    "expand_figures",
+    "load_shard_manifest",
+    "make_backend",
+    "plan_manifests",
+    "resolve_backend",
+    "shard_origin",
+    "shard_partition",
+    "tasks_for_manifest",
+    "write_shard_plan",
+]

@@ -1,0 +1,54 @@
+"""Process-pool backend: one task per worker dispatch.
+
+The historical ``run_sweep(workers=N)`` behaviour, extracted from
+``sweep.py``: a ``multiprocessing`` pool, ``imap_unordered`` with
+``chunksize=1`` so long tasks never convoy behind a pre-assigned
+chunk, and a store write per finished task.  ``mp_context`` selects
+the start method — callers that create pools from a multithreaded
+process (the campaign runner's figure threads) must pass ``"spawn"``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, Optional, Tuple
+
+from ..sweep import SweepTask, execute_task
+from .base import Backend, Pending, ProgressCb, emit
+
+
+def _pool_entry(item: Tuple[str, SweepTask]
+                ) -> Tuple[str, Dict[str, object]]:
+    key, task = item
+    return key, execute_task(task)
+
+
+class ProcessBackend(Backend):
+    """Fan tasks out over a ``multiprocessing`` pool."""
+
+    name = "process"
+
+    def __init__(self, workers: int = 1,
+                 mp_context: Optional[str] = None) -> None:
+        self.workers = max(1, int(workers))
+        self.mp_context = mp_context
+
+    def run(self, pending: Pending, store=None,
+            progress_cb: Optional[ProgressCb] = None
+            ) -> Dict[str, Dict[str, object]]:
+        pending = list(pending)
+        payloads: Dict[str, Dict[str, object]] = {}
+        if self.workers <= 1 or len(pending) <= 1:
+            for key, task in pending:
+                payload = execute_task(task)
+                payloads[key] = payload
+                emit(store, key, payload, progress_cb)
+            return payloads
+        ctx = multiprocessing.get_context(self.mp_context)
+        n = min(self.workers, len(pending))
+        with ctx.Pool(processes=n) as pool:
+            done = pool.imap_unordered(_pool_entry, pending, chunksize=1)
+            for key, payload in done:
+                payloads[key] = payload
+                emit(store, key, payload, progress_cb)
+        return payloads

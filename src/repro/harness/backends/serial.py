@@ -1,0 +1,29 @@
+"""Serial backend: every task in-process, in submission order.
+
+The debugging baseline — no pool, no pickling, tracebacks point
+straight at the failing task — and the reference implementation the
+equivalence suite measures every other backend against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sweep import execute_task
+from .base import Backend, Pending, ProgressCb, emit
+
+
+class SerialBackend(Backend):
+    """Execute pending tasks one by one in the calling process."""
+
+    name = "serial"
+
+    def run(self, pending: Pending, store=None,
+            progress_cb: Optional[ProgressCb] = None
+            ) -> Dict[str, Dict[str, object]]:
+        payloads: Dict[str, Dict[str, object]] = {}
+        for key, task in pending:
+            payload = execute_task(task)
+            payloads[key] = payload
+            emit(store, key, payload, progress_cb)
+        return payloads

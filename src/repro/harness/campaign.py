@@ -46,6 +46,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..scenarios import FigureResult, FigureSpec, figure_ids, get_figure
 from ..scenarios.registry import run_figure
+from .backends import resolve_backend
 from .sweep import ResultStore
 
 #: subdirectory (under a ``--results-dir``) holding the shared
@@ -124,11 +125,15 @@ class CampaignResult:
 
     def __init__(self, outcomes: Sequence[FigureOutcome], *,
                  wall_s: float, store: Optional[ResultStore] = None,
-                 pruned: Sequence[str] = ()) -> None:
+                 pruned: Sequence[str] = (),
+                 backend: str = "serial") -> None:
         self.outcomes = list(outcomes)
         self.wall_s = wall_s
         self.store = store
         self.pruned = list(pruned)
+        #: resolved execution-backend name, recorded in the report's
+        #: provenance header
+        self.backend = backend
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -170,12 +175,13 @@ class CampaignResult:
 
 def _run_one(spec: FigureSpec, *, workers: int,
              store: Optional[ResultStore], check: bool,
-             mp_context: Optional[str] = None) -> FigureOutcome:
+             mp_context: Optional[str] = None,
+             backend=None) -> FigureOutcome:
     """Execute one figure fail-soft and judge its fidelity."""
     start = time.monotonic()
     try:
         result = run_figure(spec, workers=workers, store=store,
-                            mp_context=mp_context)
+                            mp_context=mp_context, backend=backend)
     except Exception:
         return FigureOutcome(spec, "error",
                              error=traceback.format_exc(limit=8),
@@ -200,13 +206,17 @@ def run_campaign(specs: Iterable[FigureSpec], *, workers: int = 1,
                  figure_jobs: int = 1,
                  store: Optional[ResultStore] = None, check: bool = True,
                  prune_stale: bool = False,
-                 progress: bool = False) -> CampaignResult:
+                 progress: bool = False,
+                 backend=None) -> CampaignResult:
     """Run ``specs`` through the sweep harness, fail-soft, and return
     every outcome.
 
     ``store`` is shared across figures (see :func:`shared_store`);
     ``figure_jobs > 1`` runs that many figures concurrently in threads,
-    each with its own ``workers``-process sweep pool.  With
+    each with its own ``workers``-process sweep pool.  ``backend``
+    selects the per-figure execution backend (name, instance, or
+    ``None`` for ``$REPRO_BACKEND`` / worker-count default) and is
+    recorded on the result for report provenance.  With
     ``prune_stale`` the store drops artifacts whose recorded simulator
     hash (or schema) no longer matches the current source tree after
     the campaign finishes.
@@ -223,10 +233,13 @@ def run_campaign(specs: Iterable[FigureSpec], *, workers: int = 1,
     # per-figure pools
     threaded = figure_jobs > 1 and len(specs) > 1
     mp_context = "spawn" if threaded and workers > 1 else None
+    backend_name = resolve_backend(backend, workers=workers,
+                                   mp_context=mp_context).name
 
     def job(spec: FigureSpec) -> FigureOutcome:
         outcome = _run_one(spec, workers=workers, store=store,
-                           check=check, mp_context=mp_context)
+                           check=check, mp_context=mp_context,
+                           backend=backend)
         if progress:
             with print_lock:
                 done[0] += 1
@@ -255,4 +268,5 @@ def run_campaign(specs: Iterable[FigureSpec], *, workers: int = 1,
         # the repaired index
         store.repair_manifest()
     return CampaignResult(outcomes, wall_s=time.monotonic() - start,
-                          store=store, pruned=pruned)
+                          store=store, pruned=pruned,
+                          backend=backend_name)

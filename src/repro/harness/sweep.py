@@ -9,11 +9,14 @@ campaign:
    declares the matrix.  Every axis value is plain data — topology
    kwargs, a :class:`WorkloadSpec`, a :class:`FailureSpec` — so tasks
    pickle cleanly and hash stably.
-2. :func:`run_sweep` executes the tasks, serially or across a
-   ``multiprocessing`` pool.  Each task carries its own seed (listed
-   explicitly or spawned deterministically from a root seed via
-   :func:`spawn_seeds`), and the simulator is deterministic given a
-   seed, so serial and parallel runs produce byte-identical metrics.
+2. :func:`run_sweep` executes the tasks through a pluggable
+   *execution backend* (:mod:`repro.harness.backends`): ``serial``,
+   ``process`` (pool), ``batched`` (chunked pool with batched store
+   writes) or ``shard`` (partition / merge).  Each task carries its
+   own seed (listed explicitly or spawned deterministically from a
+   root seed via :func:`spawn_seeds`), and the simulator is
+   deterministic given a seed, so every backend produces
+   byte-identical metrics for the same grid.
 3. Results persist as one JSON file per task in a :class:`ResultStore`,
    keyed by a content hash of the task parameters: re-running a
    campaign skips every finished task and recomputes aggregation
@@ -56,6 +59,10 @@ Invariants:
 - **Store writes are atomic** (temp file + ``os.replace``), and the
   ``manifest.json`` index is merged on every put and read-repaired on
   every read, so concurrent campaigns sharing a store converge.
+  :meth:`ResultStore.merge_from` folds one store into another under
+  the same rules — content keys make the merge idempotent, which is
+  what lets independently-executed shards reassemble into one
+  campaign store.
 """
 
 from __future__ import annotations
@@ -63,7 +70,6 @@ from __future__ import annotations
 import hashlib
 import json
 import math
-import multiprocessing
 import os
 import threading
 import time
@@ -421,12 +427,18 @@ class ResultStore:
     seed, simulator version and write timestamp.  The manifest is what
     makes a sweep directory browsable without opening every artifact,
     and what :meth:`prune` uses to drop stale results.
+
+    ``origin`` names where this store's *new* artifacts come from
+    (e.g. ``"shard-0/2"``); it rides every manifest entry the store
+    writes and survives :meth:`merge_from`, so a merged campaign
+    store still says which shard produced each artifact.
     """
 
     MANIFEST = "manifest.json"
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str, *, origin: Optional[str] = None) -> None:
         self.root = root
+        self.origin = origin
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.json")
@@ -460,25 +472,82 @@ class ResultStore:
             json.dump(doc, fh, sort_keys=True)
         os.replace(tmp, path)
 
-    @staticmethod
-    def _manifest_entry(payload: dict, written_at: float) -> dict:
-        return {
+    def _manifest_entry(self, payload: dict, written_at: float) -> dict:
+        entry = {
             "label": payload.get("task", {}).get("label", ""),
             "seed": payload.get("task", {}).get("seed"),
             "schema": payload.get("schema"),
             "sim": payload.get("sim"),
             "written_at": written_at,
         }
+        if self.origin:
+            entry["origin"] = self.origin
+        return entry
 
     def put(self, key: str, payload: dict) -> None:
+        self.put_many([(key, payload)])
+
+    def put_many(self,
+                 items: Iterable[Tuple[str, dict]]) -> None:
+        """Persist several artifacts with **one** manifest update.
+
+        Each artifact write is individually atomic as in :meth:`put`;
+        the read-merge-write of ``manifest.json`` happens once per
+        call, which is what makes the batched backend's store I/O
+        O(batches) instead of O(tasks).
+        """
+        items = list(items)
+        if not items:
+            return
         os.makedirs(self.root, exist_ok=True)
-        self._write_json(self._path(key), payload)
-        # read-merge-write per put: concurrent campaigns sharing a store
-        # each merge into the latest on-disk index instead of clobbering
-        # it from a stale in-memory snapshot
+        for key, payload in items:
+            self._write_json(self._path(key), payload)
+        # read-merge-write per call: concurrent campaigns sharing a
+        # store each merge into the latest on-disk index instead of
+        # clobbering it from a stale in-memory snapshot
         manifest = self._read_index()
-        manifest[key] = self._manifest_entry(payload, time.time())
+        now = time.time()
+        for key, payload in items:
+            manifest[key] = self._manifest_entry(payload, now)
         self._write_json(os.path.join(self.root, self.MANIFEST), manifest)
+
+    def merge_from(self, other: "ResultStore") -> List[str]:
+        """Fold ``other``'s artifacts into this store; returns the
+        keys actually copied.
+
+        Content-key semantics make this idempotent and commutative:
+        a key already present here is skipped (equal key ⟺ identical
+        payload), so merging the same shard twice — or two shards in
+        either order — converges to the same store.  Manifest entries
+        travel with their artifacts, preserving the writing shard's
+        ``origin``; artifacts with a stale schema are left behind.
+        """
+        merged: List[str] = []
+        other_manifest = other.manifest()
+        manifest_updates: Dict[str, dict] = {}
+        for key in other.keys():
+            # presence check by path, not by parsing the artifact: a
+            # re-merge of an already-merged store must cost stat()s,
+            # not a JSON parse per artifact (equal key ⟺ identical
+            # payload, and a corrupt artifact self-heals through the
+            # run_sweep cache-miss path)
+            if os.path.exists(self._path(key)):
+                continue
+            payload = other._read(key)
+            if payload is None:
+                continue  # stale schema / unreadable: not worth moving
+            os.makedirs(self.root, exist_ok=True)
+            self._write_json(self._path(key), payload)
+            entry = other_manifest.get(key) or \
+                other._manifest_entry(payload, time.time())
+            manifest_updates[key] = entry
+            merged.append(key)
+        if manifest_updates:
+            manifest = self._read_index()
+            manifest.update(manifest_updates)
+            self._write_json(os.path.join(self.root, self.MANIFEST),
+                             manifest)
+        return merged
 
     def _read_index(self) -> Dict[str, dict]:
         try:
@@ -643,11 +712,6 @@ def execute_task(task: SweepTask) -> Dict[str, object]:
     return payload
 
 
-def _pool_entry(item: Tuple[str, SweepTask]) -> Tuple[str, Dict[str, object]]:
-    key, task = item
-    return key, execute_task(task)
-
-
 # ----------------------------------------------------------------------
 # grids and results
 # ----------------------------------------------------------------------
@@ -771,17 +835,24 @@ class SweepResults:
 def run_sweep(grid: Union[SweepGrid, Iterable[SweepTask]], *,
               workers: int = 1, store: Optional[ResultStore] = None,
               progress: bool = False,
-              mp_context: Optional[str] = None) -> SweepResults:
+              mp_context: Optional[str] = None,
+              backend=None) -> SweepResults:
     """Execute a campaign and return its (possibly cached) results.
 
-    ``workers > 1`` fans pending tasks out over a ``multiprocessing``
-    pool; results are identical to a serial run because each task's RNG
-    state depends only on the task itself.  With a ``store``, finished
-    tasks are skipped on re-runs and new results are persisted as they
-    arrive.  ``mp_context`` selects the pool start method (e.g.
-    ``"spawn"``); callers that create pools from a multithreaded
-    process (the campaign runner's figure-level threads) must not fork.
+    ``backend`` selects the execution backend — a registry name from
+    :mod:`repro.harness.backends`, a ready ``Backend`` instance, or
+    ``None`` to consult ``$REPRO_BACKEND`` and fall back to ``serial``
+    / ``process`` by worker count.  Results are identical across
+    backends because each task's RNG state depends only on the task
+    itself.  With a ``store``, finished tasks are skipped on re-runs
+    and new results are persisted as they arrive.  ``mp_context``
+    selects the pool start method (e.g. ``"spawn"``); callers that
+    create pools from a multithreaded process (the campaign runner's
+    figure-level threads) must not fork.
     """
+    # lazy: backends import execute_task and ResultStore from here
+    from .backends import resolve_backend
+
     tasks = grid.tasks() if isinstance(grid, SweepGrid) else list(grid)
     payloads: Dict[str, Dict[str, object]] = {}
     cached_keys = set()
@@ -798,25 +869,15 @@ def run_sweep(grid: Union[SweepGrid, Iterable[SweepTask]], *,
             cached_keys.add(key)
         else:
             pending.append((key, task))
+    executor = resolve_backend(backend, workers=workers,
+                               mp_context=mp_context)
     if progress:
         print(f"sweep: {len(tasks)} tasks, {len(cached_keys)} cached, "
-              f"{len(pending)} to run on {max(1, workers)} worker(s)")
+              f"{len(pending)} to run on {max(1, workers)} worker(s) "
+              f"[{executor.name} backend]")
 
     if pending:
-        if workers > 1:
-            ctx = multiprocessing.get_context(mp_context)
-            n = min(workers, len(pending))
-            with ctx.Pool(processes=n) as pool:
-                done = pool.imap_unordered(_pool_entry, pending, chunksize=1)
-                for key, payload in done:
-                    payloads[key] = payload
-                    if store is not None:
-                        store.put(key, payload)
-        else:
-            for key, task in pending:
-                payloads[key] = execute_task(task)
-                if store is not None:
-                    store.put(key, payloads[key])
+        payloads.update(executor.run(pending, store))
 
     results = []
     counted = set()

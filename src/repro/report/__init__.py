@@ -10,8 +10,12 @@ two generators:
 - :mod:`repro.report.figure_docs` renders ``docs/figures/`` straight
   from the figure registry (no execution), so figure documentation is
   a pure function of the specs and can never drift from code.
+- :mod:`repro.report.trend` compares two ``campaign.json`` records
+  (``repro figures trend``): badge transitions, metric drift, and
+  coverage changes between runs, the CI regression gate.
 
-Both share :mod:`repro.report.provenance` for the environment header.
+All of them share :mod:`repro.report.provenance` for the environment
+header.
 """
 
 from .figure_docs import (
@@ -26,14 +30,24 @@ from .reproduction import (
     render_reproduction,
     write_campaign_report,
 )
+from .trend import (
+    TrendReport,
+    diff_campaigns,
+    load_record,
+    render_trend,
+)
 
 __all__ = [
+    "TrendReport",
     "campaign_doc",
     "collect_provenance",
+    "diff_campaigns",
     "docs_drift",
+    "load_record",
     "render_figure_page",
     "render_index",
     "render_reproduction",
+    "render_trend",
     "write_campaign_report",
     "write_figure_docs",
 ]

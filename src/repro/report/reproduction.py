@@ -178,6 +178,9 @@ def render_reproduction(campaign: CampaignResult,
              ["simulator hash", f"`{prov['simulator_version']}`"],
              ["artifact schema", prov["schema_version"]],
              ["bench scale", f"`{prov['scale']}`"],
+             ["execution backend", f"`{prov.get('backend', 'serial')}`"
+              + (f" (shard `{prov['shard']}`)"
+                 if prov.get("shard") else "")],
              ["python", prov["python"]],
              ["platform", prov["platform"]],
              ["campaign wall time", f"{campaign.wall_s:.1f} s"],
@@ -273,7 +276,7 @@ def write_campaign_report(campaign: CampaignResult, *,
                           ) -> Tuple[str, str]:
     """Render and write both artifacts; one provenance snapshot feeds
     both so they can never disagree about their origin."""
-    prov = collect_provenance()
+    prov = collect_provenance(backend=getattr(campaign, "backend", None))
     for path in (report_path, json_path):
         parent = os.path.dirname(path)
         if parent:

@@ -157,13 +157,16 @@ def figure_ids() -> List[str]:
 def run_figure(spec, *, workers: int = 1,
                store: Optional[ResultStore] = None,
                progress: bool = False,
-               mp_context: Optional[str] = None) -> FigureResult:
+               mp_context: Optional[str] = None,
+               backend=None) -> FigureResult:
     """Expand a figure's matrix and execute it through the sweep
-    harness (``spec`` may be a :class:`FigureSpec` or a registry id)."""
+    harness (``spec`` may be a :class:`FigureSpec` or a registry id).
+    ``backend`` selects the execution backend exactly as in
+    :func:`~repro.harness.sweep.run_sweep`."""
     if isinstance(spec, str):
         spec = get_figure(spec)
     tasks = spec.build()
     results = run_sweep(list(tasks.values()), workers=workers,
                         store=store, progress=progress,
-                        mp_context=mp_context)
+                        mp_context=mp_context, backend=backend)
     return FigureResult(spec, tasks, results)

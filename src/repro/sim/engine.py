@@ -73,7 +73,10 @@ class Engine:
                 break
             time_ps, _, fn, args = heap[0]
             if until_ps is not None and time_ps > until_ps:
-                self.now = until_ps
+                # advance to the horizon, but never rewind: a second
+                # run() with an earlier until_ps must not move time
+                # backwards under already-scheduled events
+                self.now = max(self.now, until_ps)
                 break
             heapq.heappop(heap)
             self.now = time_ps

@@ -1,0 +1,285 @@
+"""Execution backends: equivalence, resolution, sharding, merging.
+
+The acceptance bar for the backend layer: **every backend produces
+byte-identical artifacts for the same grid**, so backend choice can
+never invalidate a store and shard stores merge losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.harness.backends import (
+    BACKEND_ENV,
+    BACKENDS,
+    BatchedBackend,
+    ProcessBackend,
+    SerialBackend,
+    ShardBackend,
+    backend_names,
+    make_backend,
+    plan_manifests,
+    resolve_backend,
+    shard_partition,
+)
+from repro.harness.sweep import (
+    ResultStore,
+    WorkloadSpec,
+    make_model_task,
+    make_task,
+    run_sweep,
+    task_key,
+)
+
+TINY_TOPO = {"n_hosts": 8, "hosts_per_t0": 4}
+TINY_WORKLOAD = WorkloadSpec(kind="synthetic", pattern="permutation",
+                             msg_bytes=128 * 1024)
+
+
+def mixed_grid():
+    """Two real simulations + three analytic models: every executor
+    path (sim, model) under every backend, still fast."""
+    tasks = [make_task(lb, TINY_TOPO, TINY_WORKLOAD, seed=1,
+                       max_us=2_000_000.0) for lb in ("ops", "reps")]
+    tasks += [make_model_task("footprint", seed=1, buffer_size=b)
+              for b in (1, 4, 8)]
+    return tasks
+
+
+def store_snapshot(store: ResultStore):
+    """Artifact bytes by key (the manifest is timing-dependent)."""
+    out = {}
+    for key in store.keys():
+        with open(os.path.join(store.root, f"{key}.json")) as fh:
+            out[key] = fh.read()
+    return out
+
+
+class TestResolution:
+    def test_default_is_serial_then_process(self):
+        assert resolve_backend(None, workers=1).name == "serial"
+        assert resolve_backend(None, workers=4).name == "process"
+
+    def test_env_var_wins_over_worker_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "batched")
+        backend = resolve_backend(None, workers=4)
+        assert backend.name == "batched"
+        assert backend.workers == 4
+
+    def test_name_and_instance_pass_through(self):
+        assert resolve_backend("shard").name == "shard"
+        ready = SerialBackend()
+        assert resolve_backend(ready) is ready
+
+    def test_required_mp_context_applied_to_ready_instance(self):
+        """Regression (code review): the threaded campaign runner
+        forces spawn for fork safety; a ready pool-owning instance
+        must not silently keep fork."""
+        ready = ProcessBackend(workers=2)
+        resolved = resolve_backend(ready, mp_context="spawn")
+        assert resolved.mp_context == "spawn"
+        assert ready.mp_context is None  # caller's object untouched
+        # an instance that chose a context keeps it
+        chosen = BatchedBackend(workers=2, mp_context="fork")
+        assert resolve_backend(chosen, mp_context="spawn") is chosen
+        # pool-less backends have no mp_context and pass through
+        serial = SerialBackend()
+        assert resolve_backend(serial, mp_context="spawn") is serial
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("quantum")
+        with pytest.raises(ValueError, match="batched"):
+            resolve_backend("quantum")
+
+    def test_registry_is_complete(self):
+        assert backend_names() == ["batched", "process", "serial",
+                                   "shard"]
+        for name, cls in BACKENDS.items():
+            assert cls.name == name
+
+
+class TestEquivalence:
+    """ISSUE acceptance: serial, process, batched and shard-then-merge
+    runs of one grid yield identical key -> payload mappings and
+    identical aggregate tables."""
+
+    BACKENDS = [SerialBackend(),
+                ProcessBackend(workers=2),
+                BatchedBackend(workers=2, batch_size=2),
+                ShardBackend(n_shards=2),
+                ShardBackend(workers=2, n_shards=2)]
+    IDS = ["serial", "process", "batched", "shard", "shard-pooled"]
+
+    @pytest.fixture(scope="class")
+    def reference(self, tmp_path_factory):
+        store = ResultStore(str(tmp_path_factory.mktemp("ref")))
+        results = run_sweep(mixed_grid(), store=store,
+                            backend=SerialBackend())
+        return store, results
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=IDS)
+    def test_identical_artifacts_and_aggregates(self, backend, tmp_path,
+                                                reference):
+        ref_store, ref_results = reference
+        store = ResultStore(str(tmp_path))
+        results = run_sweep(mixed_grid(), store=store, backend=backend)
+        assert results.executed == len(mixed_grid())
+        # byte-identical artifacts under identical content keys
+        assert store_snapshot(store) == store_snapshot(ref_store)
+        # identical task_key -> payload mappings
+        assert {r.key: (r.metrics, r.extra) for r in results} == \
+            {r.key: (r.metrics, r.extra) for r in ref_results}
+        # identical aggregate tables (sim tasks aggregate the fct
+        # metric; model tasks report through `extra` instead)
+        from repro.harness.sweep import SweepResults
+
+        def sim_table(res):
+            sim_only = [r for r in res if r.task.lb != "model"]
+            return SweepResults(sim_only).table("max_fct_us")
+
+        assert sim_table(results) == sim_table(ref_results)
+
+    @pytest.mark.parametrize("backend", BACKENDS[1:], ids=IDS[1:])
+    def test_cache_hits_after_any_backend(self, backend, tmp_path):
+        store = ResultStore(str(tmp_path))
+        run_sweep(mixed_grid(), store=store, backend=backend)
+        again = run_sweep(mixed_grid(), store=store,
+                          backend=SerialBackend())
+        assert again.executed == 0
+        assert again.cached == len(mixed_grid())
+
+
+class TestBatched:
+    def test_batches_cover_and_interleave(self):
+        backend = BatchedBackend(workers=2, batch_size=2)
+        pending = [(f"k{i}", None) for i in range(7)]
+        batches = backend._batches(pending)
+        assert sorted(k for b in batches for k, _ in b) == \
+            sorted(k for k, _ in pending)
+        assert max(len(b) for b in batches) - \
+            min(len(b) for b in batches) <= 1
+
+    def test_default_batch_count_caps_at_pending(self):
+        backend = BatchedBackend(workers=8)
+        batches = backend._batches([(f"k{i}", None) for i in range(3)])
+        assert len(batches) == 3
+
+    def test_put_many_matches_sequential_puts(self, tmp_path):
+        tasks = [make_model_task("footprint", seed=1, buffer_size=b)
+                 for b in (1, 2)]
+        a = ResultStore(str(tmp_path / "a"))
+        b = ResultStore(str(tmp_path / "b"))
+        from repro.harness.sweep import execute_task
+        pairs = [(task_key(t), execute_task(t)) for t in tasks]
+        for key, payload in pairs:
+            a.put(key, payload)
+        b.put_many(pairs)
+        assert store_snapshot(a) == store_snapshot(b)
+        am, bm = a.manifest(), b.manifest()
+        assert sorted(am) == sorted(bm)
+        for key in am:
+            assert {k: v for k, v in am[key].items()
+                    if k != "written_at"} == \
+                {k: v for k, v in bm[key].items() if k != "written_at"}
+
+
+class TestShardPartition:
+    def test_deterministic_and_order_independent(self):
+        keys = [f"{i:04x}" for i in range(13)]
+        assert shard_partition(keys, 3) == \
+            shard_partition(list(reversed(keys)), 3)
+
+    def test_disjoint_cover_balanced(self):
+        keys = [f"{i:04x}" for i in range(13)]
+        parts = shard_partition(keys, 4)
+        flat = [k for part in parts for k in part]
+        assert sorted(flat) == sorted(keys)
+        assert len(flat) == len(set(flat))
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_shards_than_keys(self):
+        parts = shard_partition(["a", "b"], 5)
+        assert sum(len(p) for p in parts) == 2
+        assert len(parts) == 5
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            shard_partition(["a"], 0)
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardBackend(n_shards=0)
+
+    def test_manifests_record_grid_identity(self):
+        from repro.harness.sweep import SCHEMA_VERSION, simulator_version
+        manifests = plan_manifests(["table1"], ["aa", "bb", "cc"], 2,
+                                   "smoke")
+        assert [m["shard"] for m in manifests] == [0, 1]
+        for m in manifests:
+            assert m["sim"] == simulator_version()
+            assert m["artifact_schema"] == SCHEMA_VERSION
+            assert m["scale"] == "smoke"
+            assert m["figures"] == ["table1"]
+        assert sorted(manifests[0]["keys"] + manifests[1]["keys"]) == \
+            ["aa", "bb", "cc"]
+
+
+class TestStoreMerge:
+    def tasks(self):
+        return [make_model_task("footprint", seed=1, buffer_size=b)
+                for b in (1, 2, 4)]
+
+    def test_merge_unions_and_preserves_origin(self, tmp_path):
+        t1, t2, t3 = self.tasks()
+        a = ResultStore(str(tmp_path / "a"), origin="shard-0/2")
+        b = ResultStore(str(tmp_path / "b"), origin="shard-1/2")
+        run_sweep([t1, t2], store=a)
+        run_sweep([t3], store=b)
+        dest = ResultStore(str(tmp_path / "merged"))
+        merged = dest.merge_from(a) + dest.merge_from(b)
+        assert sorted(merged) == sorted(set(a.keys()) | set(b.keys()))
+        manifest = dest.manifest()
+        origins = {manifest[k].get("origin") for k in a.keys()}
+        assert origins == {"shard-0/2"}
+        assert manifest[task_key(t3)]["origin"] == "shard-1/2"
+
+    def test_merge_is_idempotent(self, tmp_path):
+        a = ResultStore(str(tmp_path / "a"))
+        run_sweep(self.tasks(), store=a)
+        dest = ResultStore(str(tmp_path / "merged"))
+        assert len(dest.merge_from(a)) == 3
+        assert dest.merge_from(a) == []
+        assert len(dest) == 3
+
+    def test_merged_store_serves_cache_hits(self, tmp_path):
+        tasks = self.tasks()
+        a = ResultStore(str(tmp_path / "a"))
+        run_sweep(tasks, store=a)
+        dest = ResultStore(str(tmp_path / "merged"))
+        dest.merge_from(a)
+        results = run_sweep(tasks, store=dest)
+        assert results.executed == 0 and results.cached == 3
+
+    def test_shard_backend_inherits_outer_store_origin(self, tmp_path):
+        """Regression (code review): `repro shard run --backend shard`
+        must not relabel the store's manifest with the backend's
+        internal sub-shard identities."""
+        from repro.harness.backends import ShardBackend
+        store = ResultStore(str(tmp_path), origin="shard-3/4")
+        run_sweep(self.tasks(), store=store,
+                  backend=ShardBackend(n_shards=2))
+        origins = {e.get("origin") for e in store.manifest().values()}
+        assert origins == {"shard-3/4"}
+
+    def test_stale_schema_artifacts_stay_behind(self, tmp_path):
+        a = ResultStore(str(tmp_path / "a"))
+        run_sweep(self.tasks()[:1], store=a)
+        with open(os.path.join(a.root, "feedface.json"), "w") as fh:
+            json.dump({"schema": 0}, fh)
+        dest = ResultStore(str(tmp_path / "merged"))
+        merged = dest.merge_from(a)
+        assert len(merged) == 1
+        assert "feedface" not in dest.keys()

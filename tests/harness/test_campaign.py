@@ -60,6 +60,27 @@ class TestRunCampaign:
         assert campaign.ok() and campaign.ok(strict=True)
         assert campaign["stub_c"].status == "warn"
 
+    def test_backend_recorded_for_provenance(self, tmp_path,
+                                             monkeypatch):
+        store = ResultStore(str(tmp_path))
+        campaign = run_campaign(stub_registry(), store=store)
+        assert campaign.backend == "serial"
+        campaign = run_campaign(stub_registry(), store=store,
+                                backend="batched")
+        assert campaign.backend == "batched"
+        monkeypatch.setenv("REPRO_BACKEND", "shard")
+        campaign = run_campaign(stub_registry(), store=store)
+        assert campaign.backend == "shard"
+
+    def test_backend_instance_runs_figures(self, tmp_path):
+        from repro.harness.backends import BatchedBackend
+        store = ResultStore(str(tmp_path))
+        campaign = run_campaign(stub_registry(), store=store,
+                                backend=BatchedBackend(batch_size=2))
+        assert campaign.ok()
+        assert campaign.backend == "batched"
+        assert campaign.executed > 0
+
     def test_empty_campaign_rejected(self):
         with pytest.raises(ValueError, match="empty campaign"):
             run_campaign([])

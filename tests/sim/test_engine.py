@@ -50,6 +50,22 @@ class TestScheduling:
         assert engine.now == 50
         assert engine.pending() == 1
 
+    def test_run_until_never_rewinds_clock(self, engine):
+        """Regression: a second run() with an *earlier* horizon used to
+        set ``now = until_ps`` and move time backwards, after which a
+        callback could legally schedule into the already-executed
+        past."""
+        engine.at(100, lambda: None)
+        engine.run(until_ps=50)
+        engine.run(until_ps=20)  # horizon behind the clock: a no-op
+        assert engine.now == 50
+        # the past is still the past: scheduling before `now` raises
+        with pytest.raises(ValueError):
+            engine.at(30, lambda: None)
+        engine.run(until_ps=60)
+        assert engine.now == 60
+        assert engine.pending() == 1
+
     def test_stop_breaks_loop(self, engine):
         fired = []
 

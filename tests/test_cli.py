@@ -7,6 +7,23 @@ import pytest
 from repro.cli import main
 
 
+@pytest.fixture(autouse=True)
+def _clean_harness_env():
+    """CLI paths (``--scale``, ``shard run``) export harness env vars
+    for their worker trees; start every test without them and scrub
+    whatever the test exported afterwards (monkeypatch.delenv cannot:
+    it only undoes changes it made itself, not the CLI's)."""
+    import os
+    keys = ("REPRO_BENCH_SCALE", "REPRO_SHARD", "REPRO_BACKEND")
+    saved = {key: os.environ.pop(key, None) for key in keys}
+    yield
+    for key, value in saved.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+
+
 def run_cli(capsys, *argv):
     code = main(list(argv))
     return code, capsys.readouterr().out
@@ -96,6 +113,28 @@ class TestSweep:
         code, out = self.sweep(capsys, tmp_path, "--workers", "2")
         assert code == 0
         assert "2 worker(s)" in out
+        assert "[process backend]" in out
+
+    def test_backend_flag(self, capsys, tmp_path):
+        code, out = self.sweep(capsys, tmp_path, "--backend", "batched")
+        assert code == 0
+        assert "[batched backend]" in out
+
+    def test_backend_env_default(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "shard")
+        code, out = self.sweep(capsys, tmp_path)
+        assert code == 0
+        assert "[shard backend]" in out
+
+    def test_unknown_backend_rejected(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            self.sweep(capsys, tmp_path, "--backend", "quantum")
+
+    def test_bad_backend_env_fails_cleanly(self, capsys, tmp_path,
+                                           monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "quantum")
+        with pytest.raises(SystemExit, match="not a known backend"):
+            self.sweep(capsys, tmp_path)
 
     def test_root_seed_spawning(self, capsys, tmp_path):
         code, out = run_cli(
@@ -339,6 +378,199 @@ class TestFiguresCampaign:
         assert code == 0
         text = (tmp_path / "REPRODUCTION.md").read_text()
         assert "| bench scale | `smoke` |" in text
+
+
+class TestShard:
+    """`repro shard plan | run | merge`: the multi-host campaign flow
+    rehearsed over the (cheap) model figures."""
+
+    SELECTION = "table1,fig24"
+
+    def plan(self, capsys, tmp_path, *extra):
+        return run_cli(
+            capsys, "shard", "plan", "--shards", "2",
+            "--only", self.SELECTION, "--scale", "smoke",
+            "--out", str(tmp_path / "plan"), *extra)
+
+    def full_flow(self, capsys, tmp_path):
+        self.plan(capsys, tmp_path)
+        for i in (0, 1):
+            code, out = run_cli(
+                capsys, "shard", "run",
+                str(tmp_path / "plan" / f"shard-{i}.json"),
+                "--store", str(tmp_path / f"shard-{i}"))
+            assert code == 0
+        return run_cli(
+            capsys, "shard", "merge",
+            "--into", str(tmp_path / "merged" / "campaign"),
+            str(tmp_path / "shard-0"), str(tmp_path / "shard-1"))
+
+    def test_plan_is_deterministic(self, capsys, tmp_path):
+        code, out = self.plan(capsys, tmp_path)
+        assert code == 0
+        assert "7 task(s) from 2 figure(s) into 2 shard(s)" in out
+        first = [(tmp_path / "plan" / f"shard-{i}.json").read_text()
+                 for i in (0, 1)]
+        self.plan(capsys, tmp_path)
+        again = [(tmp_path / "plan" / f"shard-{i}.json").read_text()
+                 for i in (0, 1)]
+        assert first == again
+
+    def test_shard_then_merge_reproduces_single_host_run(
+            self, capsys, tmp_path):
+        import json
+        code, out = self.full_flow(capsys, tmp_path)
+        assert code == 0
+        assert "7 artifact(s) (7 newly merged)" in out
+        # the merged store serves a whole campaign without executing
+        code, out = run_cli(
+            capsys, "figures", "run", "--only", self.SELECTION,
+            "--scale", "smoke",
+            "--results-dir", str(tmp_path / "merged"),
+            "--report", str(tmp_path / "R-sharded.md"),
+            "--json", str(tmp_path / "c-sharded.json"))
+        assert code == 0
+        assert "7 tasks (0 executed, 7 cached)" in out
+        # and its tables match a from-scratch single-host campaign
+        code, _ = run_cli(
+            capsys, "figures", "run", "--only", self.SELECTION,
+            "--scale", "smoke",
+            "--results-dir", str(tmp_path / "single"),
+            "--report", str(tmp_path / "R-single.md"),
+            "--json", str(tmp_path / "c-single.json"))
+        assert code == 0
+        sharded = json.loads((tmp_path / "c-sharded.json").read_text())
+        single = json.loads((tmp_path / "c-single.json").read_text())
+        assert [f["table"] for f in sharded["figures"]] == \
+            [f["table"] for f in single["figures"]]
+        assert [f["status"] for f in sharded["figures"]] == \
+            [f["status"] for f in single["figures"]]
+
+    def test_merge_is_idempotent(self, capsys, tmp_path):
+        self.full_flow(capsys, tmp_path)
+        code, out = run_cli(
+            capsys, "shard", "merge",
+            "--into", str(tmp_path / "merged" / "campaign"),
+            str(tmp_path / "shard-0"), str(tmp_path / "shard-1"))
+        assert code == 0
+        assert "(0 newly merged)" in out
+
+    def test_merged_manifest_records_shard_origin(self, capsys,
+                                                  tmp_path):
+        from repro.harness.sweep import ResultStore
+        self.full_flow(capsys, tmp_path)
+        manifest = ResultStore(
+            str(tmp_path / "merged" / "campaign")).manifest()
+        assert len(manifest) == 7
+        assert {e["origin"] for e in manifest.values()} == \
+            {"shard-0/2", "shard-1/2"}
+
+    def test_empty_shard_still_merges(self, capsys, tmp_path):
+        """Regression (code review): more shards than tasks left the
+        empty shard's store uncreated, so merging every planned shard
+        store failed."""
+        run_cli(capsys, "shard", "plan", "--shards", "8",
+                "--only", "table1", "--scale", "smoke",
+                "--out", str(tmp_path / "plan"))
+        stores = []
+        for i in range(8):
+            code, _ = run_cli(
+                capsys, "shard", "run",
+                str(tmp_path / "plan" / f"shard-{i}.json"),
+                "--store", str(tmp_path / f"s{i}"))
+            assert code == 0
+            stores.append(str(tmp_path / f"s{i}"))
+        code, out = run_cli(capsys, "shard", "merge",
+                            "--into", str(tmp_path / "m"), *stores)
+        assert code == 0
+        assert "5 artifact(s) (5 newly merged)" in out
+
+    def test_run_refuses_simulator_drift(self, capsys, tmp_path):
+        import json
+        self.plan(capsys, tmp_path)
+        path = tmp_path / "plan" / "shard-0.json"
+        manifest = json.loads(path.read_text())
+        manifest["sim"] = "0" * 16
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(SystemExit, match="does not match"):
+            run_cli(capsys, "shard", "run", str(path),
+                    "--store", str(tmp_path / "s"))
+
+    def test_run_refuses_non_manifest_json(self, capsys, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text("{\"keys\": []}")
+        with pytest.raises(SystemExit, match="not a repro shard"):
+            run_cli(capsys, "shard", "run", str(path),
+                    "--store", str(tmp_path / "s"))
+
+    def test_merge_rejects_missing_source(self, capsys, tmp_path):
+        with pytest.raises(SystemExit, match="not a.*store"):
+            run_cli(capsys, "shard", "merge",
+                    "--into", str(tmp_path / "m"),
+                    str(tmp_path / "ghost"))
+
+    def test_plan_rejects_empty_selection(self, capsys, tmp_path):
+        with pytest.raises(SystemExit, match="selected no figures"):
+            run_cli(capsys, "shard", "plan", "--only", "table1",
+                    "--skip", "table1",
+                    "--out", str(tmp_path / "plan"))
+
+    def test_plan_rejects_unknown_figure(self, capsys, tmp_path):
+        with pytest.raises(SystemExit, match="figures list"):
+            run_cli(capsys, "shard", "plan", "--only", "fig99",
+                    "--out", str(tmp_path / "plan"))
+
+
+class TestFiguresTrend:
+    def records(self, capsys, tmp_path):
+        run_cli(capsys, "figures", "run", "--only", "table1",
+                "--results-dir", str(tmp_path / "store"),
+                "--report", str(tmp_path / "R.md"),
+                "--json", str(tmp_path / "old.json"))
+        return tmp_path / "old.json"
+
+    def test_identical_records_pass_strict(self, capsys, tmp_path):
+        old = self.records(capsys, tmp_path)
+        code, out = run_cli(capsys, "figures", "trend", str(old),
+                            str(old), "--strict")
+        assert code == 0
+        assert "no figure changed" in out
+
+    def test_strict_fails_on_badge_regression(self, capsys, tmp_path):
+        import json
+        old = self.records(capsys, tmp_path)
+        doc = json.loads(old.read_text())
+        doc["figures"][0]["status"] = "error"
+        new = tmp_path / "new.json"
+        new.write_text(json.dumps(doc))
+        code, out = run_cli(capsys, "figures", "trend", str(old),
+                            str(new))
+        assert code == 0  # informational without --strict
+        assert "[REGRESSION]" in out
+        code, out = run_cli(capsys, "figures", "trend", str(old),
+                            str(new), "--strict")
+        assert code == 1
+
+    def test_tolerance_gates_metric_drift(self, capsys, tmp_path):
+        import json
+        old = self.records(capsys, tmp_path)
+        doc = json.loads(old.read_text())
+        row = doc["figures"][0]["table"]["rows"][0]
+        row[1] = round(row[1] * 1.05, 2)  # 5% drift
+        new = tmp_path / "new.json"
+        new.write_text(json.dumps(doc))
+        code, _ = run_cli(capsys, "figures", "trend", str(old),
+                          str(new), "--strict")
+        assert code == 1
+        code, _ = run_cli(capsys, "figures", "trend", str(old),
+                          str(new), "--strict", "--tol", "0.10")
+        assert code == 0
+
+    def test_rejects_non_record_input(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}")
+        with pytest.raises(SystemExit, match="not a campaign.json"):
+            run_cli(capsys, "figures", "trend", str(bogus), str(bogus))
 
 
 class TestDocs:
