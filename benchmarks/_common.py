@@ -22,6 +22,7 @@ from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.harness import format_table
 from repro.harness.campaign import shared_store
+from repro.harness.store import open_store
 from repro.harness.sweep import ResultStore, SweepResults, SweepTask, \
     run_sweep
 from repro.scenarios import FigureResult, get_figure, run_figure
@@ -71,7 +72,12 @@ def bench_workers() -> int:
 
 def _store(name: str) -> Optional[ResultStore]:
     if os.environ.get("REPRO_BENCH_CACHE"):
-        return ResultStore(os.path.join(RESULTS_DIR, "sweeps", name))
+        try:
+            return open_store(os.path.join(RESULTS_DIR, "sweeps", name))
+        except ValueError as exc:
+            # malformed $REPRO_STORE: fail like the CLI does, not with
+            # a traceback from inside a benchmark run
+            raise SystemExit(f"benchmarks: {exc}")
     return None
 
 
@@ -82,7 +88,10 @@ def _figure_store() -> Optional[ResultStore]:
     deliberately keeps per-figure store subdirs: its `--prune`
     keep-set would otherwise delete other figures' artifacts.)"""
     if os.environ.get("REPRO_BENCH_CACHE"):
-        return shared_store(os.path.join(RESULTS_DIR, "sweeps"))
+        try:
+            return shared_store(os.path.join(RESULTS_DIR, "sweeps"))
+        except ValueError as exc:
+            raise SystemExit(f"benchmarks: {exc}")
     return None
 
 

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Seven subcommands cover the common interactive uses:
+Eight subcommands cover the common interactive uses:
 
 - ``run``: one simulation (pattern x load balancer) with a metrics line,
 - ``compare``: the same workload under several load balancers,
@@ -14,6 +14,9 @@ Seven subcommands cover the common interactive uses:
 - ``shard``: scale a campaign out over hosts — ``plan`` deterministic
   shard manifests, ``run`` one shard anywhere against a local store,
   ``merge`` the shard stores back into one,
+- ``store``: artifact-store maintenance — ``compact`` a store into one
+  columnar segment file (absorbing legacy one-JSON-per-task
+  artifacts), ``inspect`` its statistics, ``verify`` its integrity,
 - ``docs``: regenerate (or drift-check) the ``docs/figures/`` pages
   from the registry,
 - ``footprint``: print the Table-1 memory accounting.
@@ -38,6 +41,8 @@ Examples::
     python -m repro shard run plan/shard-0.json --store stores/shard-0
     python -m repro shard merge --into stores/merged/campaign \\
         stores/shard-0 stores/shard-1
+    python -m repro store compact benchmarks/results/sweeps/campaign
+    python -m repro store verify benchmarks/results/sweeps/campaign
     python -m repro docs figures --check
     python -m repro run --lb reps --fail-uplink 0 --fail-at 50 --fail-for 200
     python -m repro footprint --buffer 8 --evs 65536
@@ -256,6 +261,24 @@ def _build_parser() -> argparse.ArgumentParser:
                            "run --all --results-dir <results-dir>` "
                            "finds it)")
 
+    store_p = sub.add_parser(
+        "store", help="artifact-store maintenance: compact / inspect "
+                      "/ verify")
+    store_sub = store_p.add_subparsers(dest="store_command",
+                                       required=True)
+    cp_p = store_sub.add_parser(
+        "compact", help="rewrite the store as one columnar segment "
+                        "file (absorbs legacy JSON artifacts, drops "
+                        "shadowed duplicate records)")
+    cp_p.add_argument("root", help="store directory (e.g. "
+                                   "<results-dir>/campaign)")
+    in_p = store_sub.add_parser("inspect", help="store statistics")
+    in_p.add_argument("root", help="store directory")
+    vf_p = store_sub.add_parser(
+        "verify", help="CRC / decode / content-key integrity check; "
+                       "exits non-zero on corruption")
+    vf_p.add_argument("root", help="store directory")
+
     docs_p = sub.add_parser(
         "docs", help="generate documentation from the registry")
     docs_sub = docs_p.add_subparsers(dest="docs_command", required=True)
@@ -331,12 +354,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
-class _FreshStore(ResultStore):
-    """A store that never reports a hit: every task re-runs, results
-    still persist (the ``--fresh`` behaviour)."""
+def _open_store(root: str, **kwargs) -> ResultStore:
+    """Open a store under the ``$REPRO_STORE`` format policy, failing
+    a command cleanly on a malformed env var."""
+    from .harness.store import open_store
 
-    def get(self, key):
-        return None
+    try:
+        return open_store(root, **kwargs)
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}")
 
 
 def _check_backend_env() -> None:
@@ -372,8 +398,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # `--evs 64,65536` run
         axes={"evs_size": evs_sizes},
     )
-    store_cls = _FreshStore if args.fresh else ResultStore
-    store = store_cls(os.path.join(args.results_dir, args.name))
+    store = _open_store(os.path.join(args.results_dir, args.name),
+                        fresh=args.fresh)
     results = run_sweep(grid, workers=args.workers, store=store,
                         progress=True, backend=args.backend)
     print(format_sweep_table(
@@ -424,9 +450,12 @@ def _cmd_figures_campaign(args: argparse.Namespace, workers: int) -> int:
                              "artifact store; drop --no-cache")
         store = None
     else:
-        store = shared_store(args.results_dir)
-        if args.fresh:
-            store = _FreshStore(store.root)
+        # shared_store owns the campaign store's location and policy;
+        # only the env-validation spelling lives here
+        try:
+            store = shared_store(args.results_dir, fresh=args.fresh)
+        except ValueError as exc:
+            raise SystemExit(f"repro: {exc}")
     print(f"campaign: {len(specs)} figure(s), workers={workers}, "
           f"figure-jobs={args.figure_jobs}, "
           f"store={store.root if store is not None else 'none'}")
@@ -532,8 +561,8 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         if args.no_cache:
             store = None
         else:
-            store_cls = _FreshStore if args.fresh else ResultStore
-            store = store_cls(os.path.join(args.results_dir, fig_id))
+            store = _open_store(os.path.join(args.results_dir, fig_id),
+                                fresh=args.fresh)
         result = run_figure(spec, workers=workers, store=store,
                             progress=True, backend=args.backend)
         headers, rows, notes = result.table_doc()
@@ -633,7 +662,7 @@ def _cmd_shard_run(args: argparse.Namespace) -> int:
                                    expand_figures(manifest["figures"]))
     except (KeyError, ValueError) as exc:
         raise SystemExit(f"repro shard run: {exc}")
-    store = ResultStore(args.store, origin=shard_origin(manifest))
+    store = _open_store(args.store, origin=shard_origin(manifest))
     if not tasks:
         # still materialize the (empty) store: scripts merge every
         # planned shard, and `shard merge` rejects missing directories
@@ -649,13 +678,19 @@ def _cmd_shard_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_shard_merge(args: argparse.Namespace) -> int:
-    dest = ResultStore(args.into)
+    from .harness.store import ColumnarStore
+
+    dest = _open_store(args.into)
     total = 0
     for src in args.sources:
         if not os.path.isdir(src):
             raise SystemExit(f"repro shard merge: {src} is not a "
                              f"store directory")
-        merged = dest.merge_from(ResultStore(src))
+        # sources always open read-compatible (segment + legacy JSON),
+        # whatever $REPRO_STORE says about the destination: a v1 store
+        # cannot see segment files, and "merged 0 artifact(s)" from a
+        # v2 shard store must not be a silent success
+        merged = dest.merge_from(ColumnarStore(src))
         total += len(merged)
         print(f"merged {len(merged)} artifact(s) from {src}")
     print(f"store {dest.root}: {len(dest)} artifact(s) "
@@ -669,6 +704,73 @@ def _cmd_shard(args: argparse.Namespace) -> int:
         "run": _cmd_shard_run,
         "merge": _cmd_shard_merge,
     }[args.shard_command](args)
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .harness.store import STORE_ENV, ColumnarStore
+
+    if not os.path.isdir(args.root):
+        raise SystemExit(f"repro store: {args.root} is not a store "
+                         f"directory")
+    store = ColumnarStore(args.root)
+    if args.store_command == "compact":
+        if os.environ.get(STORE_ENV, "").strip().lower() in \
+                ("json", "v1"):
+            # compacting moves everything into the segment file, which
+            # a json-pinned pipeline cannot read — the whole cache
+            # would silently vanish on the next run
+            raise SystemExit(
+                f"repro store compact: {STORE_ENV}=json pins the "
+                f"legacy format, which cannot read compacted "
+                f"segments; unset it first")
+        stats = store.compact()
+        before, after = stats["before"], stats["after"]
+        saved = before["bytes"] - after["bytes"]
+        pct = (saved / before["bytes"] * 100) if before["bytes"] else 0.0
+        print(f"compacted {args.root}: {stats['records_written']} "
+              f"record(s) in {after['blocks']} block(s), "
+              f"{stats['json_absorbed']} JSON artifact(s) absorbed")
+        print(f"bytes: {before['bytes']:,} -> {after['bytes']:,} "
+              f"({pct:+.0f}% saved)")
+        return 0
+    if args.store_command == "inspect":
+        stats = store.stats()
+        print(format_table(
+            f"store {args.root}", ["field", "value"],
+            [["keys", stats["keys"]],
+             ["segment records", stats["records"]],
+             ["shadowed duplicates", stats["duplicates"]],
+             ["segment blocks", stats["blocks"]],
+             ["segment bytes", f"{stats['segment_bytes']:,}"],
+             ["legacy JSON artifacts", stats["legacy_json"]],
+             ["legacy JSON bytes", f"{stats['json_bytes']:,}"],
+             ["manifest entries", len(store.manifest())]]))
+        if stats["tail_dirty"]:
+            print("[TORN] the segment has an unreadable tail — the "
+                  "counts above cover only the readable prefix; run "
+                  "`repro store verify` for details")
+        if stats["legacy_json"] or stats["duplicates"]:
+            print("hint: `repro store compact` folds legacy JSON "
+                  "artifacts into the segment file and drops "
+                  "shadowed duplicates")
+        return 0
+    report = store.verify()
+    print(f"store {args.root}: {report['blocks']} block(s), "
+          f"{report['records']} record(s), {report['unique_keys']} "
+          f"unique key(s), {report['duplicate_records']} shadowed "
+          f"duplicate(s), {report['legacy_json']} legacy JSON "
+          f"artifact(s)")
+    for message in report["errors"]:
+        print(f"[CORRUPT] {message}")
+    for key in report["key_mismatches"]:
+        print(f"[CORRUPT] record {key} embeds a different content key")
+    if report["truncated_tail_bytes"]:
+        print(f"[TORN] {report['truncated_tail_bytes']} trailing "
+              f"byte(s) are not a complete block (dropped on read, "
+              f"truncated on the next write)")
+    print("store verify: OK" if report["ok"]
+          else "store verify: FAILED")
+    return 0 if report["ok"] else 1
 
 
 def _cmd_docs(args: argparse.Namespace) -> int:
@@ -709,6 +811,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "figures": _cmd_figures,
         "shard": _cmd_shard,
+        "store": _cmd_store,
         "docs": _cmd_docs,
         "footprint": _cmd_footprint,
     }

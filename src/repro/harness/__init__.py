@@ -38,6 +38,7 @@ from .backends import (
     make_backend,
     resolve_backend,
 )
+from .store import ColumnarStore, open_store
 from .sweep import (
     FailureSpec,
     ResultStore,
@@ -69,7 +70,8 @@ __all__ = [
     "hbar", "render_port_series", "sparkline",
     "Aggregate", "compare", "repeat",
     "SweepGrid", "SweepTask", "SweepResults", "TaskResult",
-    "WorkloadSpec", "FailureSpec", "ResultStore",
+    "WorkloadSpec", "FailureSpec", "ResultStore", "ColumnarStore",
+    "open_store",
     "make_task", "make_model_task", "task_key", "run_sweep",
     "spawn_seeds", "execute_task", "simulator_version",
     "BACKENDS", "Backend", "backend_names", "make_backend",

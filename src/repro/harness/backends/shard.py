@@ -158,11 +158,15 @@ class ShardBackend(Backend):
         # must not overwrite it — manifest origins would otherwise
         # name shards that exist only inside this call
         outer_origin = getattr(store, "origin", None)
+        # scratch stores mirror the destination's format so the v2
+        # (columnar) merge path is rehearsed whenever the caller uses
+        # a v2 store
+        store_cls = type(store) if store is not None else ResultStore
         with tempfile.TemporaryDirectory(prefix="repro-shards-") as tmp:
             for index, keys in enumerate(parts):
                 if not keys:
                     continue
-                scratch = ResultStore(
+                scratch = store_cls(
                     os.path.join(tmp, f"shard-{index}"),
                     origin=outer_origin or
                     f"shard-{index}/{self.n_shards}")

@@ -47,6 +47,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from ..scenarios import FigureResult, FigureSpec, figure_ids, get_figure
 from ..scenarios.registry import run_figure
 from .backends import resolve_backend
+from .store import open_store
 from .sweep import ResultStore
 
 #: subdirectory (under a ``--results-dir``) holding the shared
@@ -57,15 +58,20 @@ CAMPAIGN_STORE_DIR = "campaign"
 STATUSES = ("pass", "warn", "fail", "error")
 
 
-def shared_store(results_dir: str) -> ResultStore:
+def shared_store(results_dir: str, *, fresh: bool = False) -> ResultStore:
     """The campaign's shared cross-figure store under ``results_dir``.
 
-    One flat directory for every figure: content keys already encode
+    One flat namespace for every figure: content keys already encode
     the full task identity (parameters + schema + simulator hash), so
     a shared namespace is safe and is what makes cross-figure dedup
-    work.
+    work.  The store format follows :func:`~repro.harness.store.
+    open_store` policy — columnar (v2) by default, ``REPRO_STORE=json``
+    for the legacy one-JSON-per-task layout; either way legacy
+    directories keep serving reads.  ``fresh`` re-runs every task but
+    still persists the results.
     """
-    return ResultStore(os.path.join(results_dir, CAMPAIGN_STORE_DIR))
+    return open_store(os.path.join(results_dir, CAMPAIGN_STORE_DIR),
+                      fresh=fresh)
 
 
 def select_figures(only: Sequence[str] = (), skip: Sequence[str] = (),

@@ -14,6 +14,7 @@ from ..core.reps import RepsConfig
 from ..sim.metrics import RunMetrics, SeriesRecorder
 from ..sim.network import Network, NetworkConfig
 from ..sim.topology import TopologyParams
+from ..sim.units import US, us_to_ps
 from ..workloads.collectives import (
     AllToAll,
     ButterflyAllReduce,
@@ -42,6 +43,11 @@ class Scenario:
     max_us: float = 50_000.0
     failures: Optional[FailureHook] = None
     telemetry_bucket_us: Optional[float] = None
+    #: attach the :class:`LbCounterSampler` (EV-source counter series)?
+    #: ``None`` follows ``telemetry_bucket_us``; the sweep layer sets
+    #: this explicitly so only tasks requesting ``ev_recycle_series``
+    #: pay the per-window sampling (and its engine events)
+    sample_lb_series: Optional[bool] = None
 
     def network(self) -> Network:
         cfg = NetworkConfig(
@@ -55,11 +61,54 @@ class Scenario:
         return net
 
 
+class LbCounterSampler:
+    """Fixed-bucket sampler of fabric-wide EV-source counters.
+
+    The REPS sender counts where each transmitted EV came from
+    (recycled / random exploration / frozen reuse); sampling the sums
+    across every flow per telemetry window is what turns those
+    counters into the Fig.-2-style recycling-rate trajectory.  Purely
+    observational: it reads counters on its own engine events and
+    never touches packets or RNG state, so simulation results are
+    unchanged (only ``RunMetrics.events`` grows by the sample count).
+    """
+
+    COUNTERS = ("stats_recycled", "stats_explored", "stats_frozen_reuse")
+
+    def __init__(self, net: Network, bucket_ps: int) -> None:
+        self.net = net
+        self.bucket_ps = bucket_ps
+        self.times_us: List[float] = []
+        self.totals: Dict[str, List[float]] = {
+            c: [] for c in self.COUNTERS}
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.net.engine.after(self.bucket_ps, self._sample)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _sample(self) -> None:
+        if not self._running:
+            return
+        self.times_us.append(self.net.engine.now / US)
+        flows = self.net.flows.values()
+        for counter in self.COUNTERS:
+            self.totals[counter].append(float(sum(
+                getattr(rec.sender.lb, counter, 0) for rec in flows)))
+        self.net.engine.after(self.bucket_ps, self._sample)
+
+
 @dataclass
 class ScenarioResult:
     metrics: RunMetrics
     recorder: Optional[SeriesRecorder] = None
     network: Optional[Network] = None
+    lb_sampler: Optional[LbCounterSampler] = None
 
     @property
     def max_fct_us(self) -> float:
@@ -75,6 +124,19 @@ def _maybe_record(net: Network, scenario: Scenario):
         return None
     ports = net.tree.t0s[0].up_ports
     return net.record_ports(ports, bucket_us=scenario.telemetry_bucket_us)
+
+
+def _maybe_sample_lb(net: Network,
+                     scenario: Scenario) -> Optional[LbCounterSampler]:
+    if scenario.telemetry_bucket_us is None or \
+            scenario.sample_lb_series is False:
+        return None
+    sampler = LbCounterSampler(
+        net, us_to_ps(scenario.telemetry_bucket_us))
+    sampler.start()
+    # registered like a SeriesRecorder so Network.run() stops it
+    net.recorders.append(sampler)
+    return sampler
 
 
 def run_synthetic(
@@ -98,10 +160,11 @@ def run_synthetic(
     else:
         raise ValueError(f"unknown pattern {pattern!r}")
     recorder = _maybe_record(net, scenario)
+    sampler = _maybe_sample_lb(net, scenario)
     for src, dst in pairs:
         net.add_flow(src, dst, msg_bytes)
     metrics = net.run(max_us=scenario.max_us)
-    return ScenarioResult(metrics, recorder, net)
+    return ScenarioResult(metrics, recorder, net, sampler)
 
 
 def run_trace(
@@ -122,10 +185,11 @@ def run_trace(
         trace=trace, seed=workload_seed,
     )
     recorder = _maybe_record(net, scenario)
+    sampler = _maybe_sample_lb(net, scenario)
     for f in flows:
         net.add_flow(f.src, f.dst, f.size_bytes, start_us=f.start_us)
     metrics = net.run(max_us=scenario.max_us)
-    return ScenarioResult(metrics, recorder, net)
+    return ScenarioResult(metrics, recorder, net, sampler)
 
 
 def run_collective(
@@ -149,9 +213,10 @@ def run_collective(
     else:
         raise ValueError(f"unknown collective {kind!r}")
     recorder = _maybe_record(net, scenario)
+    sampler = _maybe_sample_lb(net, scenario)
     coll.install()
     metrics = net.run(max_us=scenario.max_us)
-    result = ScenarioResult(metrics, recorder, net)
+    result = ScenarioResult(metrics, recorder, net, sampler)
     result.collective = coll  # type: ignore[attr-defined]
     return result
 
@@ -383,9 +448,84 @@ def probe_freeze_entries(result: ScenarioResult) -> Dict[str, float]:
     return {"freeze_entries": float(total)}
 
 
+# ----------------------------------------------------------------------
+# windowed time-series probes (Fig. 2 trajectories, not endpoints)
+# ----------------------------------------------------------------------
+# These return *lists* — one sample per telemetry window — which the
+# sweep layer persists in the artifact's ``series`` section (scalars
+# keep riding ``extra``).  Every series probe also emits the shared
+# window grid ``t_us`` so the curves are plottable without the
+# recorder.  All of them need a ``telemetry_bucket_us`` scenario
+# setting, exactly like ``queue_telemetry``.
+
+def _series_recorder(result: ScenarioResult, probe: str) -> SeriesRecorder:
+    rec = result.recorder
+    if rec is None:
+        raise ValueError(f"{probe} probe needs telemetry_bucket_us")
+    return rec
+
+
+def probe_goodput_series(result: ScenarioResult) -> Dict[str, object]:
+    """Per-window aggregate goodput (Gbps) across the recorded T0
+    uplinks — the Fig. 2 left axis, and the failure-recovery curve."""
+    rec = _series_recorder(result, "goodput_series")
+    names = list(rec.util_gbps)
+    total = [sum(rec.util_gbps[p][i] for p in names)
+             for i in range(len(rec.times_us))]
+    return {"t_us": list(rec.times_us), "goodput_gbps": total}
+
+
+def probe_queue_series(result: ScenarioResult) -> Dict[str, object]:
+    """Per-window worst queue occupancy (KB) across the recorded T0
+    uplinks — the Fig. 2 right axis."""
+    rec = _series_recorder(result, "queue_series")
+    worst = [max(rec.queue_kb[p][i] for p in rec.queue_kb)
+             for i in range(len(rec.times_us))]
+    return {"t_us": list(rec.times_us), "queue_kb": worst}
+
+
+def probe_uplink_share_series(result: ScenarioResult) -> Dict[str, object]:
+    """Per-window share of uplink traffic carried by the first T0
+    uplink (the one failure schedules hit first).  A fair spray holds
+    1/n; a dead or skewed-away-from link drops toward 0."""
+    rec = _series_recorder(result, "uplink_share_series")
+    first = result.network.tree.t0s[0].up_ports[0].name
+    names = list(rec.util_gbps)
+    shares = []
+    for i in range(len(rec.times_us)):
+        total = sum(rec.util_gbps[p][i] for p in names)
+        shares.append(rec.util_gbps[first][i] / total if total > 0
+                      else 0.0)
+    return {"t_us": list(rec.times_us), "uplink_share": shares}
+
+
+def probe_ev_recycle_series(result: ScenarioResult) -> Dict[str, object]:
+    """Per-window EV-recycling hit rate: the fraction of transmitted
+    EVs drawn from the recycle buffer (vs random exploration or frozen
+    reuse).  Zero throughout for non-REPS senders."""
+    sampler = result.lb_sampler
+    if sampler is None:
+        raise ValueError(
+            "ev_recycle_series probe needs telemetry_bucket_us")
+    prev = {c: 0.0 for c in sampler.COUNTERS}
+    rates = []
+    for i in range(len(sampler.times_us)):
+        deltas = {c: sampler.totals[c][i] - prev[c]
+                  for c in sampler.COUNTERS}
+        prev = {c: sampler.totals[c][i] for c in sampler.COUNTERS}
+        sends = sum(deltas.values())
+        rates.append(deltas["stats_recycled"] / sends if sends > 0
+                     else 0.0)
+    return {"t_us": list(sampler.times_us), "ev_recycle_rate": rates}
+
+
 #: probe name -> extractor; referenced by ``SweepTask.probes``
-RESULT_PROBES: Dict[str, Callable[[ScenarioResult], Dict[str, float]]] = {
+RESULT_PROBES: Dict[str, Callable[[ScenarioResult], Dict[str, object]]] = {
     "queue_telemetry": probe_queue_telemetry,
     "uplink_share": probe_uplink_share,
     "freeze_entries": probe_freeze_entries,
+    "goodput_series": probe_goodput_series,
+    "queue_series": probe_queue_series,
+    "uplink_share_series": probe_uplink_share_series,
+    "ev_recycle_series": probe_ev_recycle_series,
 }

@@ -1,0 +1,832 @@
+"""Columnar campaign store (ResultStore v2): one segment file per store.
+
+The JSON :class:`~repro.harness.sweep.ResultStore` pays one file open,
+parse and manifest merge per artifact — fine for a figure, painful for
+a campaign of hundreds (or a shard sweep of thousands) of tasks.  This
+module keeps the store *contract* (content-keyed ``get``/``put`` /
+``put_many``/``merge_from``/``prune``/``manifest``) and replaces the
+storage with a single append-only **segment file**:
+
+- ``store.seg`` starts with an 8-byte file magic and is otherwise a
+  sequence of self-describing **blocks**: a fixed frame header (magic,
+  compressed length, CRC-32, record count) followed by a
+  zlib-compressed block body.
+- A block body holds a batch of artifacts split columnar-style: one
+  JSON header (content keys, the non-numeric remainder of every
+  payload, the column directory) plus **binary-packed numeric
+  columns** — scalar columns as tagged 8-byte ints/floats, array
+  columns (time-series probes) as length-prefixed packed vectors with
+  a per-element int/float bitmap.  The split is lossless: a decoded
+  payload is canonically identical (``json.dumps(..., sort_keys=True)``)
+  to what was stored.
+- The **key index** is in-memory only, rebuilt by scanning the frame
+  headers on open; a torn final block (crash mid-append) is detected
+  by CRC and dropped, and the next append truncates the torn tail
+  first, so the file self-heals without a repair tool.
+- **Manifest entries ride the frames.**  Each record carries its index
+  entry (label, seed, sim, origin, timestamp) inside the block header,
+  so a put is *one* append — no per-put read-merge-write of
+  ``manifest.json`` (the JSON store's O(n²) byte cost on long serial
+  campaigns).  ``manifest.json`` still exists for browsing and
+  cross-format tooling, but as a *derived* artifact: it is
+  materialized by :meth:`~repro.harness.sweep.ResultStore.
+  repair_manifest` (campaign runs call it on finish), by ``compact``
+  and by ``prune``, and :meth:`ColumnarStore.manifest` always prefers
+  the frame-carried entries.
+
+Invariants carried over from the JSON store:
+
+- **Equal key ⟺ identical payload.**  Appends never need to compare
+  contents; ``merge_from`` skips present keys and folds everything new
+  in as *one* appended block — shard merging is an append, not N file
+  copies.  Duplicate records (e.g. a ``--fresh`` re-run) are legal;
+  the index resolves to the newest, and :meth:`ColumnarStore.compact`
+  drops the shadowed ones.
+- **Read-compat.**  A v2 store opened on a legacy directory serves the
+  existing ``<key>.json`` artifacts transparently (reads fall back,
+  ``keys()`` is the union); :meth:`ColumnarStore.compact` absorbs them
+  into the segment file and deletes the originals.
+- **manifest.json is unchanged** — same entry layout, same
+  read-merge-write and read-repair semantics — so shard origins,
+  trend tooling and store browsing work identically on both formats.
+
+Concurrency: writes are appended under a process-local lock with
+``O_APPEND``, so the campaign runner's figure threads share one store
+safely.  Two *processes* appending to one segment file converge the
+same way two JSON campaigns do (content keys make double-execution
+harmless), but may leave shadowed duplicates — run ``repro store
+compact`` afterwards.
+
+``repro store compact | inspect | verify`` exposes the maintenance
+surface; :func:`open_store` is the policy switch (``REPRO_STORE=json``
+forces the legacy format).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import struct
+import threading
+import time
+import zlib
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .sweep import SCHEMA_VERSION, ResultStore, simulator_version
+
+#: the store-format policy environment variable (see :func:`open_store`)
+STORE_ENV = "REPRO_STORE"
+
+#: 8-byte file magic; the trailing digit is the segment format version
+FILE_MAGIC = b"REPSEG02"
+
+#: per-block frame magic
+BLOCK_MAGIC = b"BLK1"
+
+#: frame header: magic, compressed length, CRC-32, record count
+_FRAME = struct.Struct("<4sIII")
+
+#: records per block when compaction rewrites the file
+COMPACT_BLOCK_RECORDS = 512
+
+#: decoded blocks kept resident per store instance (LRU): the key
+#: index stays complete in memory, payloads re-load from disk on miss
+BLOCK_CACHE_BLOCKS = 32
+
+# scalar column tags (one byte per record)
+_T_MISSING, _T_NULL, _T_INT, _T_FLOAT = 0, 1, 2, 3
+
+_I64_MIN, _I64_MAX = -(1 << 63), (1 << 63) - 1
+
+
+def _scalar_tag(value) -> Optional[int]:
+    """The column tag for a scalar, or ``None`` for "keep as JSON".
+
+    Bools are ints in Python but not in the column format; non-finite
+    floats stay JSON so both store formats spell them identically; and
+    ints outside 64 bits cannot be packed.
+    """
+    if value is None:
+        return _T_NULL
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, int):
+        return _T_INT if _I64_MIN <= value <= _I64_MAX else None
+    if isinstance(value, float):
+        return _T_FLOAT if math.isfinite(value) else None
+    return None
+
+
+def _json_copy(obj):
+    """Deep copy for JSON-typed trees — hot-path cheap (the generic
+    ``copy.deepcopy`` machinery costs ~5x more per cached read)."""
+    if isinstance(obj, dict):
+        return {k: _json_copy(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_json_copy(v) for v in obj]
+    return obj
+
+
+def _is_numeric_array(value) -> bool:
+    """True for a non-empty list of packable ints/floats."""
+    if not isinstance(value, list) or not value:
+        return False
+    for v in value:
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            return False
+        if isinstance(v, int) and not _I64_MIN <= v <= _I64_MAX:
+            return False
+        if isinstance(v, float) and not math.isfinite(v):
+            return False
+    return True
+
+
+def encode_block(records: Sequence[Tuple[str, dict]],
+                 entries: Optional[Sequence[Optional[dict]]] = None
+                 ) -> bytes:
+    """One uncompressed block body for ``records`` (key/payload pairs).
+
+    Layout: ``u32 header_len + header_json + packed_columns``.  The
+    header carries the keys, the per-record JSON remainders, the
+    per-record manifest ``entries`` (may be ``None``), and the column
+    directory ``[section, name, kind]`` in deterministic (sorted)
+    order; the packed tail holds the columns in that order.
+    """
+    keys: List[str] = []
+    rests: List[dict] = []
+    scalars: Dict[Tuple[str, str], Dict[int, object]] = {}
+    arrays: Dict[Tuple[str, str], Dict[int, list]] = {}
+    for idx, (key, payload) in enumerate(records):
+        keys.append(key)
+        rest: dict = {}
+        for sect, val in payload.items():
+            if not isinstance(val, dict):
+                rest[sect] = val
+                continue
+            rsect = {}
+            for name, v in val.items():
+                if _scalar_tag(v) is not None:
+                    scalars.setdefault((sect, name), {})[idx] = v
+                elif _is_numeric_array(v):
+                    arrays.setdefault((sect, name), {})[idx] = v
+                else:
+                    rsect[name] = v
+            rest[sect] = rsect
+        rests.append(rest)
+
+    n = len(records)
+    cols: List[List[str]] = []
+    packed = bytearray()
+    for sect, name in sorted(scalars):
+        cols.append([sect, name, "s"])
+        values = scalars[(sect, name)]
+        tags = bytearray(n)
+        buf = bytearray()
+        for i in range(n):
+            if i not in values:
+                continue
+            v = values[i]
+            tags[i] = _scalar_tag(v)
+            if tags[i] == _T_INT:
+                buf += struct.pack("<q", v)
+            elif tags[i] == _T_FLOAT:
+                buf += struct.pack("<d", v)
+        packed += tags + buf
+    for sect, name in sorted(arrays):
+        cols.append([sect, name, "a"])
+        values = arrays[(sect, name)]
+        tags = bytearray(n)
+        buf = bytearray()
+        for i in range(n):
+            if i not in values:
+                continue
+            tags[i] = 1
+            elems = values[i]
+            buf += struct.pack("<I", len(elems))
+            bitmap = bytearray((len(elems) + 7) // 8)
+            for j, e in enumerate(elems):
+                if isinstance(e, int):
+                    bitmap[j // 8] |= 1 << (j % 8)
+            buf += bitmap
+            for e in elems:
+                buf += struct.pack("<q" if isinstance(e, int) else "<d", e)
+        packed += tags + buf
+
+    doc = {"k": keys, "r": rests, "c": cols}
+    if entries is not None and any(e is not None for e in entries):
+        doc["m"] = list(entries)
+    header = json.dumps(doc, separators=(",", ":")).encode()
+    return struct.pack("<I", len(header)) + header + bytes(packed)
+
+
+def decode_block(body: bytes
+                 ) -> Tuple[List[Tuple[str, dict]],
+                            List[Optional[dict]]]:
+    """Invert :func:`encode_block`; every call returns fresh objects.
+
+    Returns ``(records, entries)`` — the key/payload pairs and the
+    parallel list of frame-carried manifest entries (``None`` where a
+    record carried none).
+    """
+    (hlen,) = struct.unpack_from("<I", body, 0)
+    header = json.loads(body[4:4 + hlen].decode())
+    keys, rests, cols = header["k"], header["r"], header["c"]
+    n = len(keys)
+    off = 4 + hlen
+    for sect, name, kind in cols:
+        tags = body[off:off + n]
+        off += n
+        if kind == "s":
+            for i in range(n):
+                tag = tags[i]
+                if tag == _T_MISSING:
+                    continue
+                if tag == _T_NULL:
+                    v: object = None
+                elif tag == _T_INT:
+                    (v,) = struct.unpack_from("<q", body, off)
+                    off += 8
+                else:
+                    (v,) = struct.unpack_from("<d", body, off)
+                    off += 8
+                rests[i][sect][name] = v
+        else:
+            for i in range(n):
+                if not tags[i]:
+                    continue
+                (count,) = struct.unpack_from("<I", body, off)
+                off += 4
+                bitmap = body[off:off + (count + 7) // 8]
+                off += len(bitmap)
+                elems = []
+                for j in range(count):
+                    is_int = bitmap[j // 8] >> (j % 8) & 1
+                    (e,) = struct.unpack_from("<q" if is_int else "<d",
+                                              body, off)
+                    off += 8
+                    elems.append(e)
+                rests[i][sect][name] = elems
+    entries = header.get("m") or [None] * n
+    return list(zip(keys, rests)), entries
+
+
+def _frame_bytes(records: Sequence[Tuple[str, dict]],
+                 entries: Optional[Sequence[Optional[dict]]] = None
+                 ) -> bytes:
+    body = encode_block(records, entries)
+    comp = zlib.compress(body, 6)
+    return _FRAME.pack(BLOCK_MAGIC, len(comp), zlib.crc32(comp),
+                       len(records)) + comp
+
+
+def _walk_frames(fh, start: int):
+    """The one segment scanner: iterate events from ``start``.
+
+    Yields, in file order:
+
+    - ``("magic", offset)`` — a FILE_MAGIC marker.  Accepted anywhere,
+      not just at offset 0: two processes racing the very first append
+      can each prepend the magic, and treating it as an 8-byte skip
+      makes that interleaving lossless instead of data-destroying.
+    - ``("frame", offset, end, records, entries)`` — one complete,
+      CRC-valid, decoded block spanning ``[offset, end)``.
+    - ``("tail", offset, reason)`` — bytes from ``offset`` on are not
+      a valid frame (torn write, corruption, not a segment file);
+      scanning stops.
+    - ``("eof", offset)`` — clean end of file.
+
+    Both the reader (:meth:`ColumnarStore._refresh`) and the auditor
+    (:meth:`ColumnarStore.verify`) consume this generator, so they can
+    never disagree about what is readable.
+    """
+    pos = start
+    fh.seek(pos)
+    while True:
+        head = fh.read(_FRAME.size)
+        if not head:
+            yield ("eof", pos)
+            return
+        if head[:len(FILE_MAGIC)] == FILE_MAGIC:
+            yield ("magic", pos)
+            pos += len(FILE_MAGIC)
+            fh.seek(pos)
+            continue
+        if len(head) < _FRAME.size:
+            yield ("tail", pos, "truncated frame header")
+            return
+        magic, comp_len, crc, _n_records = _FRAME.unpack(head)
+        if magic != BLOCK_MAGIC:
+            yield ("tail", pos, "bad frame magic")
+            return
+        comp = fh.read(comp_len)
+        if len(comp) < comp_len:
+            yield ("tail", pos, "truncated frame body")
+            return
+        if zlib.crc32(comp) != crc:
+            yield ("tail", pos, "CRC mismatch")
+            return
+        try:
+            records, entries = decode_block(zlib.decompress(comp))
+        except (ValueError, KeyError, struct.error, zlib.error) as exc:
+            yield ("tail", pos, f"undecodable block ({exc})")
+            return
+        end = pos + _FRAME.size + comp_len
+        yield ("frame", pos, end, records, entries)
+        pos = end
+
+
+class ColumnarStore(ResultStore):
+    """The v2 store: one segment file + in-memory index, JSON fallback.
+
+    API-compatible with :class:`~repro.harness.sweep.ResultStore`;
+    see the module docstring for the format and its invariants.
+    """
+
+    SEGMENT = "store.seg"
+
+    def __init__(self, root: str, *, origin: Optional[str] = None,
+                 fresh: bool = False) -> None:
+        super().__init__(root, origin=origin, fresh=fresh)
+        self._lock = threading.RLock()
+        self._index: Dict[str, Tuple[int, int]] = {}  # key -> (off, slot)
+        #: bounded LRU of decoded blocks — the index is complete, the
+        #: payload cache is not (misses re-load the block from disk)
+        self._blocks: "OrderedDict[int, List[Tuple[str, dict]]]" = \
+            OrderedDict()
+        self._entries: Dict[str, dict] = {}  # frame-carried manifest
+        self._scanned = 0        # segment bytes validated and indexed
+        self._records = 0        # raw record count incl. duplicates
+        self._blocks_seen = 0    # frames indexed so far
+        self._tail_dirty = False  # torn/garbage tail after _scanned
+
+    # ------------------------------------------------------------------
+    # segment scanning
+    # ------------------------------------------------------------------
+    def _segment_path(self) -> str:
+        return os.path.join(self.root, self.SEGMENT)
+
+    def _reset(self) -> None:
+        self._index.clear()
+        self._blocks.clear()
+        self._entries.clear()
+        self._scanned = 0
+        self._records = 0
+        self._blocks_seen = 0
+        self._tail_dirty = False
+
+    def _refresh(self) -> None:
+        """Index any segment bytes appended since the last scan.
+
+        Tolerant by construction: a frame that is short, fails its CRC
+        or does not decode marks the tail dirty and stops the scan —
+        everything before it stays served, and the next append
+        truncates the torn tail away.
+        """
+        path = self._segment_path()
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            if self._scanned:
+                self._reset()  # compacted away / removed externally
+            return
+        if size < self._scanned:
+            self._reset()      # shrunk externally: rescan from scratch
+        if size == self._scanned or self._tail_dirty:
+            return
+        with open(path, "rb") as fh:
+            for event in _walk_frames(fh, self._scanned):
+                if event[0] == "magic":
+                    self._scanned = event[1] + len(FILE_MAGIC)
+                elif event[0] == "frame":
+                    _kind, offset, end, records, entries = event
+                    self._cache_block(offset, records)
+                    for slot, (key, _payload) in enumerate(records):
+                        self._index[key] = (offset, slot)
+                        if entries[slot] is not None:
+                            self._entries[key] = entries[slot]
+                    self._records += len(records)
+                    self._blocks_seen += 1
+                    self._scanned = end
+                elif event[0] == "tail":
+                    self._tail_dirty = True
+                    return
+                # "eof": loop ends
+
+    def _cache_block(self, offset: int,
+                     records: List[Tuple[str, dict]]) -> None:
+        self._blocks[offset] = records
+        self._blocks.move_to_end(offset)
+        while len(self._blocks) > BLOCK_CACHE_BLOCKS:
+            self._blocks.popitem(last=False)
+
+    def _record(self, key: str, loc: Tuple[int, int]) -> Optional[dict]:
+        offset, slot = loc
+        records = self._blocks.get(offset)
+        if records is None:
+            try:
+                with open(self._segment_path(), "rb") as fh:
+                    fh.seek(offset)
+                    head = fh.read(_FRAME.size)
+                    magic, comp_len, crc, _n = _FRAME.unpack(head)
+                    comp = fh.read(comp_len)
+                records, _entries = decode_block(zlib.decompress(comp))
+            except (OSError, ValueError, struct.error, zlib.error):
+                return None
+            self._cache_block(offset, records)
+        else:
+            self._blocks.move_to_end(offset)
+        if slot >= len(records) or records[slot][0] != key:
+            # stale index vs an externally rewritten file (compact in
+            # another process): never serve some other key's payload
+            # as a cache hit — a miss just re-executes the task
+            return None
+        return records[slot][1]
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def _read(self, key: str) -> Optional[dict]:
+        with self._lock:
+            self._refresh()
+            loc = self._index.get(key)
+            if loc is None:
+                return super()._read(key)  # legacy JSON artifact
+            payload = self._record(key, loc)
+        if payload is None or payload.get("schema") != SCHEMA_VERSION:
+            return None
+        return _json_copy(payload)
+
+    def _read_raw(self, key: str) -> Optional[dict]:
+        """Like :meth:`_read` but without the schema filter — what
+        compaction preserves (dropping stale artifacts is prune's
+        decision, not compact's)."""
+        with self._lock:
+            self._refresh()
+            loc = self._index.get(key)
+            if loc is not None:
+                payload = self._record(key, loc)
+                if payload is not None:
+                    return _json_copy(payload)
+        try:
+            with open(self._path(key)) as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            self._refresh()
+            segment = set(self._index)
+        return sorted(segment | set(super().keys()))
+
+    def _json_keys(self) -> List[str]:
+        """Legacy ``<key>.json`` artifacts living beside the segment."""
+        return super().keys()
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def _append_frame(self, records: Sequence[Tuple[str, dict]],
+                      entries: Sequence[Optional[dict]]) -> None:
+        """Append one block and register its records in the index."""
+        frame = _frame_bytes(records, entries)
+        path = self._segment_path()
+        if self._tail_dirty:
+            # the dirty flag may be stale two ways: another process
+            # healed this same tail and appended valid frames, or
+            # replaced the file entirely (compact can *grow* it, so
+            # the size<scanned reset never fires and a resumed scan
+            # lands mid-frame).  Either way, truncating on stale
+            # state destroys committed artifacts — re-validate the
+            # whole file from offset 0 first.
+            self._reset()
+            self._refresh()
+        if self._tail_dirty:
+            # genuinely torn: drop the garbage before appending over
+            # it — all the way to offset 0 when even the file magic
+            # never made it to disk (the append below re-creates it)
+            with open(path, "r+b") as fh:
+                fh.truncate(self._scanned)
+            self._tail_dirty = False
+        fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            data = frame
+            if os.fstat(fd).st_size == 0:
+                data = FILE_MAGIC + frame
+            # loop on short writes (ENOSPC / RLIMIT_FSIZE can commit a
+            # partial frame without raising): the index must never
+            # report artifacts durable that are torn on disk
+            view = memoryview(data)
+            written = 0
+            while written < len(view):
+                n = os.write(fd, view[written:])
+                if n <= 0:
+                    raise OSError(
+                        f"short write to {path} "
+                        f"({written}/{len(view)} bytes)")
+                written += n
+            end = os.lseek(fd, 0, os.SEEK_CUR)
+        finally:
+            os.close(fd)
+        offset = end - len(frame)
+        cached = [(key, _json_copy(payload)) for key, payload in records]
+        self._cache_block(offset, cached)
+        for slot, (key, _payload) in enumerate(cached):
+            self._index[key] = (offset, slot)
+            if entries[slot] is not None:
+                self._entries[key] = entries[slot]
+        if offset == max(self._scanned, len(FILE_MAGIC)):
+            self._scanned = end
+            self._records += len(cached)
+            self._blocks_seen += 1
+        # else: another process appended in between; _refresh picks the
+        # gap (and this frame again) up from _scanned — idempotent
+
+    def put_many(self, items: Iterable[Tuple[str, dict]]) -> None:
+        """Persist several artifacts as **one** segment append.
+
+        The manifest entries travel inside the frame, so there is no
+        per-call read-merge-write of ``manifest.json`` — the whole
+        sweep costs O(batches) store I/O, and the on-disk index is
+        materialized once by ``repair_manifest`` when a campaign
+        finishes.
+        """
+        items = list(items)
+        if not items:
+            return
+        with self._lock:
+            os.makedirs(self.root, exist_ok=True)
+            self._refresh()
+            now = time.time()
+            self._append_frame(
+                items,
+                [self._manifest_entry(payload, now)
+                 for _key, payload in items])
+
+    def merge_from(self, other: ResultStore) -> List[str]:
+        """Fold ``other`` in as **one** appended block (vs one file
+        copy per artifact in the JSON store).  Same semantics: present
+        keys skip, stale schemas stay behind, manifest entries travel
+        with their ``origin`` inside the frame."""
+        other_manifest = other.manifest()
+        merged: List[str] = []
+        records: List[Tuple[str, dict]] = []
+        entries: List[Optional[dict]] = []
+        with self._lock:
+            self._refresh()
+            json_present = set(self._json_keys())
+            for key in other.keys():
+                if key in self._index or key in json_present:
+                    continue
+                payload = other._read(key)
+                if payload is None:
+                    continue
+                records.append((key, payload))
+                entries.append(other_manifest.get(key) or
+                               other._manifest_entry(payload,
+                                                     time.time()))
+                merged.append(key)
+            if records:
+                os.makedirs(self.root, exist_ok=True)
+                # chunked like compaction: one giant block would make
+                # every later cold point-read decode the whole merge
+                for lo in range(0, len(records), COMPACT_BLOCK_RECORDS):
+                    hi = lo + COMPACT_BLOCK_RECORDS
+                    self._append_frame(records[lo:hi], entries[lo:hi])
+        return merged
+
+    def manifest(self) -> Dict[str, dict]:
+        """The campaign index, frame-carried entries first.
+
+        Starts from whatever ``manifest.json`` says (legacy artifacts,
+        cross-format tooling), overlays the entries riding the segment
+        frames, synthesizes entries for artifacts that carry none, and
+        drops entries whose artifact is gone — the same read-repair
+        contract as the JSON store, just with the frames as the source
+        of truth.
+        """
+        with self._lock:
+            self._refresh()
+            manifest = self._read_index()
+            for key, entry in self._entries.items():
+                manifest[key] = dict(entry)
+            on_disk = self.keys()
+            for key in on_disk:
+                if key in manifest:
+                    continue
+                payload = self._read(key)
+                if payload is not None:
+                    manifest[key] = self._manifest_entry(
+                        payload, time.time())
+            for key in set(manifest) - set(on_disk):
+                del manifest[key]
+        return manifest
+
+    # ------------------------------------------------------------------
+    # maintenance: prune / compact / verify / stats
+    # ------------------------------------------------------------------
+    def prune(self, keep: Optional[Iterable[str]] = None) -> List[str]:
+        """Same policy as the JSON store (keep-set, else stale schema /
+        simulator hash); segment records are dropped by rewriting the
+        file, legacy JSON artifacts by deletion.  Orphaned manifest
+        entries are dropped either way."""
+        keep_set = set(keep) if keep is not None else None
+        with self._lock:
+            self._refresh()
+            removed = []
+            for key in self.keys():
+                if keep_set is not None:
+                    stale = key not in keep_set
+                else:
+                    payload = self._read(key)
+                    stale = payload is None or \
+                        payload.get("sim") != simulator_version()
+                if stale:
+                    removed.append(key)
+            for key in removed:
+                if key not in self._index:
+                    try:
+                        os.remove(self._path(key))
+                    except OSError:
+                        pass
+            if any(key in self._index for key in removed):
+                self._rewrite(drop=set(removed))
+            else:
+                for key in removed:
+                    self._index.pop(key, None)
+                    self._entries.pop(key, None)
+            orphaned = set(self._read_index()) - set(self.keys())
+            if removed or orphaned:
+                self._write_json(os.path.join(self.root, self.MANIFEST),
+                                 self.manifest())
+        return removed
+
+    def compact(self) -> Dict[str, object]:
+        """Rewrite the segment file: one record per live key, legacy
+        JSON artifacts absorbed and deleted, shadowed duplicates
+        dropped.  Returns before/after statistics."""
+        with self._lock:
+            self._refresh()
+            before = self._stats_locked()
+            rewrite = self._rewrite(drop=set())
+            self._write_json(os.path.join(self.root, self.MANIFEST),
+                             self.manifest())
+            after = self._stats_locked()
+        return {"before": before, "after": after,
+                "records_written": rewrite["records"],
+                "json_absorbed": rewrite["json_absorbed"]}
+
+    def _rewrite(self, drop: set) -> Dict[str, object]:
+        """Write a fresh segment holding every live key not in
+        ``drop``; absorb and delete legacy JSON artifacts.  Caller
+        holds the lock."""
+        survivors = [key for key in self.keys() if key not in drop]
+        absorbed = [key for key in self._json_keys()
+                    if key not in drop and key not in self._index]
+        entry_for = self.manifest()  # preserves shard origins
+        os.makedirs(self.root, exist_ok=True)
+        tmp = self._segment_path() + \
+            f".{os.getpid()}.{threading.get_ident()}.tmp"
+        written: set = set()
+        with open(tmp, "wb") as fh:
+            fh.write(FILE_MAGIC)
+            batch: List[Tuple[str, dict]] = []
+            entries: List[Optional[dict]] = []
+            for key in survivors:
+                payload = self._read_raw(key)
+                if payload is None:
+                    continue
+                batch.append((key, payload))
+                entries.append(entry_for.get(key))
+                written.add(key)
+                if len(batch) >= COMPACT_BLOCK_RECORDS:
+                    fh.write(_frame_bytes(batch, entries))
+                    batch, entries = [], []
+            if batch:
+                fh.write(_frame_bytes(batch, entries))
+        os.replace(tmp, self._segment_path())
+        # remove only the legacy JSON artifacts that are now in the
+        # segment (absorbed or shadowed) or deliberately dropped — a
+        # file that failed to *read* (EACCES, I/O error) was never
+        # absorbed and must survive the rewrite
+        for key in self._json_keys():
+            if key not in written and key not in drop:
+                continue
+            try:
+                os.remove(self._path(key))
+            except OSError:
+                pass
+        self._reset()
+        self._refresh()
+        return {"records": len(written),
+                "json_absorbed": len(set(absorbed) & written)}
+
+    def verify(self) -> Dict[str, object]:
+        """Scan the file from scratch and cross-check every record.
+
+        Returns a report dict; ``ok`` is False on CRC failures, torn
+        tails, undecodable blocks, or records whose embedded content
+        key disagrees with their index key.
+        """
+        report: Dict[str, object] = {
+            "blocks": 0, "records": 0, "unique_keys": 0,
+            "duplicate_records": 0, "key_mismatches": [],
+            "truncated_tail_bytes": 0, "legacy_json": 0, "errors": [],
+        }
+        seen: Dict[str, int] = {}
+        path = self._segment_path()
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            size = 0
+        if size:
+            with open(path, "rb") as fh:
+                # same scanner the reader uses: verify can never call
+                # readable what _refresh would refuse, or vice versa
+                for event in _walk_frames(fh, 0):
+                    if event[0] == "frame":
+                        _kind, _offset, _end, records, _entries = event
+                        report["blocks"] += 1
+                        for key, payload in records:
+                            report["records"] += 1
+                            seen[key] = seen.get(key, 0) + 1
+                            embedded = payload.get("key")
+                            if embedded is not None and embedded != key:
+                                report["key_mismatches"].append(key)
+                    elif event[0] == "tail":
+                        _kind, offset, reason = event
+                        report["truncated_tail_bytes"] = size - offset
+                        if not reason.startswith("truncated"):
+                            report["errors"].append(
+                                f"{reason} at offset {offset}")
+        for key in self._json_keys():
+            report["legacy_json"] += 1
+            try:
+                with open(self._path(key)) as fh:
+                    payload = json.load(fh)
+            except (OSError, ValueError):
+                report["errors"].append(f"unreadable artifact {key}.json")
+                continue
+            embedded = payload.get("key")
+            if embedded is not None and embedded != key:
+                report["key_mismatches"].append(key)
+        report["unique_keys"] = len(seen)
+        report["duplicate_records"] = \
+            sum(count - 1 for count in seen.values())
+        report["ok"] = not (report["errors"] or report["key_mismatches"]
+                            or report["truncated_tail_bytes"])
+        return report
+
+    def _stats_locked(self) -> Dict[str, object]:
+        try:
+            seg_bytes = os.path.getsize(self._segment_path())
+        except OSError:
+            seg_bytes = 0
+        json_keys = self._json_keys()
+        json_bytes = 0
+        for key in json_keys:
+            try:
+                json_bytes += os.path.getsize(self._path(key))
+            except OSError:
+                pass
+        return {
+            "segment_bytes": seg_bytes,
+            "json_bytes": json_bytes,
+            "bytes": seg_bytes + json_bytes,
+            "blocks": self._blocks_seen,
+            # raw frame records, not unique index keys: the duplicate
+            # surplus is the `repro store inspect` signal to compact
+            "records": self._records,
+            "duplicates": self._records - len(self._index),
+            "legacy_json": len(json_keys),
+            "keys": len(set(self._index) | set(json_keys)),
+            # a torn/corrupt tail stops the scan, so the counts above
+            # cover only the readable prefix — statistics must say so
+            "tail_dirty": self._tail_dirty,
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Browsable store statistics (``repro store inspect``)."""
+        with self._lock:
+            self._refresh()
+            return self._stats_locked()
+
+
+def open_store(root: str, *, origin: Optional[str] = None,
+               fresh: bool = False) -> ResultStore:
+    """The store for ``root`` under the current format policy.
+
+    ``REPRO_STORE=json`` forces the legacy one-JSON-per-task format
+    (e.g. to A/B against v2, or to produce a store for the migration
+    path); anything else — the default — opens a :class:`ColumnarStore`,
+    which reads legacy directories transparently and writes segments.
+    """
+    kind = os.environ.get(STORE_ENV, "").strip().lower()
+    if kind in ("json", "v1"):
+        return ResultStore(root, origin=origin, fresh=fresh)
+    if kind in ("", "columnar", "v2"):
+        return ColumnarStore(root, origin=origin, fresh=fresh)
+    raise ValueError(
+        f"{STORE_ENV} must be 'json' or 'columnar', got {kind!r}")

@@ -108,7 +108,8 @@ from .runner import (
 from .stats import Aggregate
 
 #: bump to invalidate stored artifacts when the result format changes
-SCHEMA_VERSION = 2
+#: (3: time-series probe outputs ride a dedicated ``series`` section)
+SCHEMA_VERSION = 3
 
 KV = Tuple[Tuple[str, object], ...]
 
@@ -436,9 +437,13 @@ class ResultStore:
 
     MANIFEST = "manifest.json"
 
-    def __init__(self, root: str, *, origin: Optional[str] = None) -> None:
+    def __init__(self, root: str, *, origin: Optional[str] = None,
+                 fresh: bool = False) -> None:
         self.root = root
         self.origin = origin
+        #: a fresh store answers every :meth:`get` with a miss (the
+        #: ``--fresh`` behaviour): tasks re-run, results still persist
+        self.fresh = fresh
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.json")
@@ -461,7 +466,7 @@ class ResultStore:
         return payload
 
     def get(self, key: str) -> Optional[dict]:
-        return self._read(key)
+        return None if self.fresh else self._read(key)
 
     def _write_json(self, path: str, doc: dict) -> None:
         # per-process *and* per-thread temp name: concurrent campaigns
@@ -610,6 +615,12 @@ class ResultStore:
         Without it, artifacts whose stored simulator version differs
         from the current :func:`simulator_version` (or whose schema is
         outdated) are removed — the post-upgrade cleanup.
+
+        Pruning also drops *orphaned* manifest entries — index rows
+        whose artifact file is already gone (an interrupted prune, a
+        hand-deleted file).  Reads repair the reverse case (artifact
+        without an entry); without this, a lost artifact would haunt
+        the index forever because read-repair only ever adds.
         """
         removed = []
         keep_set = set(keep) if keep is not None else None
@@ -626,12 +637,12 @@ class ResultStore:
                 except OSError:
                     continue
                 removed.append(key)
-        if removed:
-            manifest = self.manifest()
-            for key in removed:
-                manifest.pop(key, None)
+        orphaned = set(self._read_index()) - set(self.keys())
+        if removed or orphaned:
+            # manifest() reconciles against the surviving artifacts, so
+            # persisting it drops the removed keys and the orphans alike
             self._write_json(os.path.join(self.root, self.MANIFEST),
-                             manifest)
+                             self.manifest())
         return removed
 
     def __len__(self) -> int:
@@ -675,7 +686,11 @@ def execute_task(task: SweepTask) -> Dict[str, object]:
         kw["reps"] = RepsConfig(**dict(kw["reps"]))
     scenario = Scenario(
         lb=task.lb, topo=TopologyParams(**dict(task.topo)), seed=task.seed,
-        failures=task.failure.hook() if task.failure else None, **kw)
+        failures=task.failure.hook() if task.failure else None,
+        # only tasks that read the LB counter series pay the sampler
+        # (and its engine events); other telemetry figures keep their
+        # pre-existing event counts
+        sample_lb_series="ev_recycle_series" in task.probes, **kw)
     extra: Dict[str, float] = {}
     if w.kind == "synthetic":
         res = run_synthetic(scenario, w.pattern, w.msg_bytes,
@@ -703,12 +718,21 @@ def execute_task(task: SweepTask) -> Dict[str, object]:
         return payload
     else:
         raise ValueError(f"unknown workload kind {w.kind!r}")
+    series: Dict[str, List[float]] = {}
     for name in task.probes:
         probed = RESULT_PROBES[name](res)
-        extra.update({k: _finite_or_none(float(v))
-                      for k, v in probed.items()})
+        for k, v in probed.items():
+            if isinstance(v, (list, tuple)):
+                # windowed time-series output: a dedicated artifact
+                # section, kept out of `extra` so scalar aggregation
+                # and report tables never see arrays
+                series[k] = [_finite_or_none(float(x)) for x in v]
+            else:
+                extra[k] = _finite_or_none(float(v))
     payload["metrics"] = _metrics_doc(res.metrics)
     payload["extra"] = extra
+    if series:
+        payload["series"] = series
     return payload
 
 
@@ -770,6 +794,9 @@ class TaskResult:
     metrics: Dict[str, object]
     extra: Dict[str, float]
     cached: bool
+    #: windowed time-series probe outputs (name -> samples); empty for
+    #: tasks without series probes
+    series: Dict[str, List[float]] = field(default_factory=dict)
 
     def value(self, metric: str) -> float:
         if metric in self.metrics:
@@ -890,5 +917,6 @@ def run_sweep(grid: Union[SweepGrid, Iterable[SweepTask]], *,
         counted.add(key)
         results.append(TaskResult(
             task=task, key=key, metrics=payload["metrics"],
-            extra=payload.get("extra", {}), cached=not fresh))
+            extra=payload.get("extra", {}), cached=not fresh,
+            series=payload.get("series", {})))
     return SweepResults(results)

@@ -15,7 +15,7 @@ import math
 import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..harness.ascii_charts import bar_chart
+from ..harness.ascii_charts import bar_chart, sparkline
 from ..harness.campaign import STATUSES, CampaignResult, FigureOutcome
 from ..harness.report import format_markdown_table
 from ..scenarios import figure_ids
@@ -101,6 +101,47 @@ def _chart_column(headers: Sequence[str],
     return str(headers[col]) if col < len(headers) else None, items
 
 
+def _figure_series(outcome: FigureOutcome) -> Dict[str, Dict[str, list]]:
+    """``row label -> series name -> samples`` for one outcome (empty
+    for scalar figures / unexecuted ones)."""
+    if outcome.result is None:
+        return {}
+    out: Dict[str, Dict[str, list]] = {}
+    for key in outcome.result.keys():
+        series = outcome.result[key].series
+        if series:
+            out[str(key)] = dict(series)
+    return out
+
+
+def _series_panel(outcome: FigureOutcome) -> List[str]:
+    """The time-series figure's "plot": one sparkline per row of the
+    headline series, on a shared scale, with the window grid range."""
+    by_row = _figure_series(outcome)
+    name = outcome.spec.metric
+    curves = {}
+    t_range = ""
+    for row, series in by_row.items():
+        values = series.get(name)
+        if not values:
+            continue
+        curves[row] = [0.0 if v is None else float(v) for v in values]
+        t_us = series.get("t_us")
+        if t_us and not t_range:
+            t_range = f", t = {t_us[0]:.0f}..{t_us[-1]:.0f} us"
+    if not curves:
+        return []
+    top = max((max(vals) for vals in curves.values() if vals),
+              default=0.0)
+    width = max(len(row) for row in curves)
+    lines = ["```text",
+             f"{name} per window (full scale = {top:,.0f}{t_range})"]
+    lines += [f"{row:<{width}}  {sparkline(vals, max_value=top)}"
+              for row, vals in curves.items()]
+    lines += ["```", ""]
+    return lines
+
+
 def _figure_section(outcome: FigureOutcome) -> str:
     spec = outcome.spec
     lines = [f"## {spec.fig_id} — {spec.figure} `{outcome.badge()}`", "",
@@ -130,10 +171,15 @@ def _figure_section(outcome: FigureOutcome) -> str:
         return "\n".join(lines)
     headers, rows, notes = table_doc
     lines += [format_markdown_table(headers, rows), ""]
-    value_header, chart = _chart_column(headers, rows)
-    if len(chart) >= 2:
-        lines += ["```text", value_header or spec.metric,
-                  bar_chart(chart), "```", ""]
+    if spec.metric_kind == "timeseries":
+        # the trajectory *is* the figure: sparkline the headline
+        # series instead of bar-charting a summary column
+        lines += _series_panel(outcome)
+    else:
+        value_header, chart = _chart_column(headers, rows)
+        if len(chart) >= 2:
+            lines += ["```text", value_header or spec.metric,
+                      bar_chart(chart), "```", ""]
     for note in notes:
         lines += [f"*{note}*", ""]
     return "\n".join(lines)
@@ -231,6 +277,7 @@ def campaign_doc(campaign: CampaignResult,
             "title": outcome.spec.title,
             "tags": list(outcome.spec.tags),
             "metric": outcome.spec.metric,
+            "metric_kind": outcome.spec.metric_kind,
             "status": outcome.status,
             "error": outcome.error,
             "wall_s": round(outcome.wall_s, 3),
@@ -249,6 +296,15 @@ def campaign_doc(campaign: CampaignResult,
             }
         elif table_error and not doc["error"]:
             doc["error"] = table_error
+        by_row = _figure_series(outcome)
+        if by_row:
+            # the raw trajectories, machine-readable; trend gating
+            # reads these back as summary statistics
+            doc["series"] = {
+                row: {name: [None if v is None else round(float(v), 4)
+                             for v in values]
+                      for name, values in series.items()}
+                for row, series in by_row.items()}
         figures.append(doc)
     return {
         "schema": REPORT_SCHEMA,

@@ -23,6 +23,15 @@ run) figure by figure:
   reported as additions.  Because identity is the categorical cells,
   a renamed label row reads as one row vanished + one added — a
   visible coverage change, not a silent pass.
+- **time-series drift** — a figure's ``series`` arrays (windowed
+  probe trajectories) are gated by *summary statistics*, not
+  element-wise: each ``(row, series)`` contributes ``name[n]``,
+  ``name[mean]``, ``name[min]``, ``name[max]`` and ``name[last]``
+  pseudo-cells that diff exactly like table cells (same ``tol``,
+  same vanished-column rule).  The simulator is deterministic, so at
+  equal scale identical code must reproduce identical statistics;
+  element-wise noise from an intentional change stays readable as a
+  handful of stat drifts instead of thousands of cell diffs.
 
 The comparison deliberately ignores provenance, wall times and
 executed/cached counts: those describe *how* a campaign ran, not what
@@ -113,7 +122,38 @@ def _table_index(figure: Dict[str, object]
                 continue  # categorical: part of the label, not a metric
             header = headers[j] if j < len(headers) else f"col{j}"
             cells[(label, header)] = cell
+    _merge_series_stats(figure, labels, cells)
     return labels, cells
+
+
+def _merge_series_stats(figure: Dict[str, object], labels: List[str],
+                        cells: Dict[Tuple[str, str], object]) -> None:
+    """Fold a figure's ``series`` arrays into the cell index as
+    summary-statistic pseudo-cells (``name[stat]`` per row).
+
+    Series rows share the label namespace with table rows — the same
+    entity (e.g. one lb) — so a vanished lb reads as one vanished row,
+    not a row loss plus five stat losses.
+    """
+    series = figure.get("series")
+    if not isinstance(series, dict):
+        return
+    for row, named in sorted(series.items()):
+        if not isinstance(named, dict):
+            continue
+        if row not in labels:
+            labels.append(row)
+        for name, values in sorted(named.items()):
+            if not isinstance(values, list):
+                continue
+            finite = [v for v in values if _is_number(v)]
+            stats = {"n": len(values)}
+            if finite:
+                stats.update(mean=round(sum(finite) / len(finite), 4),
+                             min=min(finite), max=max(finite),
+                             last=finite[-1])
+            for stat, value in stats.items():
+                cells[(row, f"{name}[{stat}]")] = value
 
 
 @dataclass

@@ -24,6 +24,7 @@ from .registry import (
 
 # importing the spec modules populates REGISTRY (paper order)
 from . import baseline  # noqa: F401  (figs 2-6)
+from . import timeseries  # noqa: F401  (fig 2 trajectories)
 from . import failures  # noqa: F401  (figs 7-11, 22)
 from . import sensitivity  # noqa: F401  (figs 12-16, 19, 21, 23 + ablations)
 from . import analytic  # noqa: F401  (figs 14, 17-18, 20, 24, table 1)

@@ -89,10 +89,47 @@ class FigureResult:
         """Every cell, keyed the way the figure declared its matrix."""
         return {key: self.value(key, metric) for key in self._by_key}
 
+    def series(self, key: Key,
+               name: Optional[str] = None) -> List[float]:
+        """One cell's time-series (``spec.metric`` by default).
+
+        Only meaningful for specs whose tasks carry series probes
+        (``metric_kind="timeseries"``); raises :class:`KeyError` when
+        the artifact holds no such series.
+        """
+        series = self._by_key[key].series
+        wanted = name or self.spec.metric
+        if wanted not in series:
+            raise KeyError(
+                f"no series {wanted!r} for {key!r} "
+                f"(have {sorted(series)})")
+        return series[wanted]
+
+    def all_series(self) -> Dict[Key, Dict[str, List[float]]]:
+        """Every cell's series mapping (empty dicts for scalar-only
+        artifacts) — what the report serializes into campaign.json."""
+        return {key: dict(self._by_key[key].series)
+                for key in self._by_key}
+
     def table_doc(self) -> TableDoc:
         """The figure's report table (headers, rows, notes)."""
         if self.spec.table is not None:
             return self.spec.table(self)
+        if self.spec.metric_kind == "timeseries":
+            # fallback for series figures: summary stats per row (the
+            # full trajectory renders as the section's sparkline)
+            rows = []
+            for key, result in self._by_key.items():
+                values = [v for v in result.series.get(self.spec.metric,
+                                                       [])
+                          if v is not None]
+                rows.append((str(key), len(values),
+                             round(sum(values) / len(values), 2)
+                             if values else 0.0,
+                             round(values[-1], 2) if values else 0.0))
+            return (["scenario", "windows", f"mean_{self.spec.metric}",
+                     f"last_{self.spec.metric}"], rows,
+                    list(self.spec.notes))
         rows = [(str(key), round(self.value(key), 2))
                 for key in self._by_key]
         return (["scenario", self.spec.metric], rows, list(self.spec.notes))
@@ -118,6 +155,10 @@ class FigureSpec:
     title: str
     build: Callable[[], Dict[Key, SweepTask]]
     metric: str = "max_fct_us"
+    #: how ``metric`` reads: ``"scalar"`` (a table cell) or
+    #: ``"timeseries"`` (a windowed series probe output — the report
+    #: renders the trajectory and campaign.json carries the arrays)
+    metric_kind: str = "scalar"
     table: Optional[Callable[[FigureResult], TableDoc]] = None
     check: Optional[Callable[[FigureResult], None]] = None
     notes: Tuple[str, ...] = ()

@@ -153,6 +153,61 @@ class TestEquivalence:
         assert again.cached == len(mixed_grid())
 
 
+class TestEquivalenceColumnar:
+    """ISSUE 5 acceptance: all four backends stay byte-identical on
+    the v2 (columnar) store — and v2 payload reads equal the JSON
+    store's artifacts, so the formats are interchangeable."""
+
+    BACKENDS = TestEquivalence.BACKENDS
+    IDS = TestEquivalence.IDS
+
+    @staticmethod
+    def canon_snapshot(store):
+        """Canonical payload bytes by key (the v2 spelling of
+        ``store_snapshot`` — there are no per-task files to read)."""
+        return {key: json.dumps(store.get(key), sort_keys=True)
+                for key in store.keys()}
+
+    @pytest.fixture(scope="class")
+    def reference(self, tmp_path_factory):
+        from repro.harness.store import ColumnarStore
+        store = ColumnarStore(str(tmp_path_factory.mktemp("ref-v2")))
+        run_sweep(mixed_grid(), store=store, backend=SerialBackend())
+        return store
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=IDS)
+    def test_identical_payloads_on_v2(self, backend, tmp_path,
+                                      reference):
+        from repro.harness.store import ColumnarStore
+        store = ColumnarStore(str(tmp_path))
+        results = run_sweep(mixed_grid(), store=store, backend=backend)
+        assert results.executed == len(mixed_grid())
+        assert self.canon_snapshot(store) == \
+            self.canon_snapshot(reference)
+        assert store.verify()["ok"]
+
+    @pytest.mark.parametrize("backend", BACKENDS[1:], ids=IDS[1:])
+    def test_cache_hits_after_any_backend_on_v2(self, backend,
+                                                tmp_path):
+        from repro.harness.store import ColumnarStore
+        store = ColumnarStore(str(tmp_path))
+        run_sweep(mixed_grid(), store=store, backend=backend)
+        again = run_sweep(mixed_grid(),
+                          store=ColumnarStore(str(tmp_path)),
+                          backend=SerialBackend())
+        assert again.executed == 0
+        assert again.cached == len(mixed_grid())
+
+    def test_v2_reads_equal_json_artifacts(self, tmp_path, reference):
+        json_store = ResultStore(str(tmp_path))
+        run_sweep(mixed_grid(), store=json_store,
+                  backend=SerialBackend())
+        json_snapshot = {
+            key: json.dumps(json_store.get(key), sort_keys=True)
+            for key in json_store.keys()}
+        assert json_snapshot == self.canon_snapshot(reference)
+
+
 class TestBatched:
     def test_batches_cover_and_interleave(self):
         backend = BatchedBackend(workers=2, batch_size=2)

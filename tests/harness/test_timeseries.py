@@ -1,0 +1,169 @@
+"""Windowed time-series probes and the fig02_timeseries pipeline.
+
+The probes' contract: one sample per telemetry window, shared ``t_us``
+grid, values in their natural ranges — and arrays travel the sweep
+layer via the artifact's ``series`` section (scalars keep riding
+``extra``), identically fresh or cached, on either store format.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import (
+    RESULT_PROBES,
+    Scenario,
+    fail_cable_schedule_hook,
+    run_synthetic,
+)
+from repro.harness.store import ColumnarStore
+from repro.harness.sweep import (
+    FailureSpec,
+    ResultStore,
+    WorkloadSpec,
+    execute_task,
+    make_task,
+    run_sweep,
+)
+from repro.sim.topology import TopologyParams
+
+SERIES_PROBES = ("goodput_series", "queue_series",
+                 "uplink_share_series", "ev_recycle_series")
+
+TINY_TOPO = {"n_hosts": 8, "hosts_per_t0": 4}
+#: ~55 us of simulated time -> ~10 windows at the 5 us bucket
+TINY_MSG = 2 << 20
+
+
+def run_small(lb="reps", *, bucket=5.0, failure=None):
+    scenario = Scenario(
+        lb=lb, topo=TopologyParams(**TINY_TOPO), seed=1,
+        telemetry_bucket_us=bucket, max_us=2_000_000.0,
+        failures=failure)
+    return run_synthetic(scenario, "tornado", TINY_MSG)
+
+
+def series_task(lb="reps", probes=SERIES_PROBES):
+    return make_task(lb, TINY_TOPO,
+                     WorkloadSpec(kind="synthetic", pattern="tornado",
+                                  msg_bytes=TINY_MSG),
+                     seed=1, telemetry_bucket_us=5.0, probes=probes,
+                     max_us=2_000_000.0)
+
+
+class TestSeriesProbes:
+    def test_every_series_probe_needs_telemetry(self):
+        result = run_small(bucket=None)
+        for name in SERIES_PROBES:
+            with pytest.raises(ValueError,
+                               match="telemetry_bucket_us"):
+                RESULT_PROBES[name](result)
+
+    def test_shared_window_grid(self):
+        result = run_small()
+        lengths = set()
+        for name in SERIES_PROBES:
+            out = RESULT_PROBES[name](result)
+            assert "t_us" in out
+            for values in out.values():
+                lengths.add(len(values))
+        assert len(lengths) == 1 and lengths.pop() > 3
+
+    def test_value_ranges(self):
+        result = run_small()
+        goodput = RESULT_PROBES["goodput_series"](result)
+        assert all(v >= 0 for v in goodput["goodput_gbps"])
+        assert max(goodput["goodput_gbps"]) > 0
+        queue = RESULT_PROBES["queue_series"](result)
+        assert all(v >= 0 for v in queue["queue_kb"])
+        share = RESULT_PROBES["uplink_share_series"](result)
+        assert all(0.0 <= v <= 1.0 for v in share["uplink_share"])
+        recycle = RESULT_PROBES["ev_recycle_series"](result)
+        assert all(0.0 <= v <= 1.0 for v in recycle["ev_recycle_rate"])
+
+    def test_recycle_rate_is_lb_aware(self):
+        """REPS recycles (rate climbs above zero); OPS never does."""
+        reps = RESULT_PROBES["ev_recycle_series"](run_small("reps"))
+        assert max(reps["ev_recycle_rate"]) > 0.5
+        ops = RESULT_PROBES["ev_recycle_series"](run_small("ops"))
+        assert max(ops["ev_recycle_rate"], default=0.0) == 0.0
+
+    def test_share_drops_after_uplink_failure(self):
+        """The failed uplink's traffic share collapses for REPS."""
+        hook = fail_cable_schedule_hook([(0, 30.0, None)])
+        result = run_small("reps", failure=hook)
+        share = RESULT_PROBES["uplink_share_series"](result)
+        assert share["uplink_share"][-1] <= 0.05
+
+    def test_sampler_registered_and_stopped(self):
+        result = run_small()
+        assert result.lb_sampler in result.network.recorders
+        assert not result.lb_sampler._running  # stopped by net.run
+
+
+class TestSeriesThroughSweep:
+    def test_execute_task_splits_series_from_extra(self):
+        payload = execute_task(series_task())
+        assert set(payload["series"]) == {
+            "t_us", "goodput_gbps", "queue_kb", "uplink_share",
+            "ev_recycle_rate"}
+        for values in payload["series"].values():
+            assert isinstance(values, list) and values
+        # scalars only in extra — arrays must not leak there
+        assert all(not isinstance(v, list)
+                   for v in payload["extra"].values())
+
+    def test_scalar_probes_still_ride_extra(self):
+        payload = execute_task(series_task(
+            probes=("queue_telemetry", "goodput_series")))
+        assert "steady_queue_kb" in payload["extra"]
+        assert "goodput_gbps" in payload["series"]
+
+    @pytest.mark.parametrize("store_cls", [ResultStore, ColumnarStore],
+                             ids=["json", "columnar"])
+    def test_series_identical_fresh_and_cached(self, tmp_path,
+                                               store_cls):
+        task = series_task()
+        store = store_cls(str(tmp_path))
+        fresh = run_sweep([task], store=store)
+        cached = run_sweep([task], store=store_cls(str(tmp_path)))
+        assert cached.cached == 1
+        assert fresh[task].series == cached[task].series
+        assert fresh[task].series["goodput_gbps"]
+
+    def test_probe_selection_changes_key(self):
+        from repro.harness.sweep import task_key
+        assert task_key(series_task()) != \
+            task_key(series_task(probes=("goodput_series",)))
+
+
+class TestFig02TimeseriesSpec:
+    def test_registered_and_tagged(self):
+        from repro.scenarios import get_figure
+        spec = get_figure("fig02_timeseries")
+        assert spec.metric_kind == "timeseries"
+        assert spec.metric == "goodput_gbps"
+        assert "timeseries" in spec.tags and "failures" in spec.tags
+        assert spec.doc
+
+    def test_matrix_carries_series_probes(self, monkeypatch):
+        from repro.scenarios import get_figure
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        tasks = get_figure("fig02_timeseries").build()
+        assert sorted(tasks) == ["ops", "reps"]
+        for task in tasks.values():
+            assert set(SERIES_PROBES) <= set(task.probes)
+            assert task.failure is not None
+
+    def test_series_accessor_raises_on_unknown_name(self, tmp_path):
+        from repro.scenarios import FigureSpec
+        from repro.scenarios.registry import run_figure
+        spec = FigureSpec(
+            fig_id="stub_series", figure="stub", title="stub",
+            build=lambda: {"reps": series_task()},
+            metric="goodput_gbps", metric_kind="timeseries")
+        result = run_figure(spec, store=ColumnarStore(str(tmp_path)))
+        assert len(result.series("reps")) > 0
+        assert result.all_series()["reps"]["t_us"]
+        with pytest.raises(KeyError, match="no series"):
+            result.series("reps", "nonexistent")

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.harness.campaign import run_campaign
 from repro.harness.sweep import ResultStore
 from repro.report import (
@@ -145,6 +147,59 @@ class TestRenderReproduction:
             store=ResultStore(str(tmp_path)))
         text = render_reproduction(campaign)
         assert "**Diverges from the paper:** factor off by 2x" in text
+
+
+def ts_spec(fig_id="stub_ts"):
+    """A tiny *real* time-series figure: two fast sim tasks with the
+    windowed probes attached."""
+    from repro.harness.sweep import WorkloadSpec, make_task
+    from repro.scenarios import FigureSpec
+
+    def build():
+        workload = WorkloadSpec(kind="synthetic", pattern="tornado",
+                                msg_bytes=2 << 20)
+        return {lb: make_task(lb, {"n_hosts": 8, "hosts_per_t0": 4},
+                              workload, seed=1, telemetry_bucket_us=5.0,
+                              probes=("goodput_series",),
+                              max_us=2_000_000.0)
+                for lb in ("ops", "reps")}
+    return FigureSpec(
+        fig_id=fig_id, figure="Stub TS", title=f"stub {fig_id}",
+        build=build, metric="goodput_gbps", metric_kind="timeseries",
+        tags=("stub", "timeseries"))
+
+
+class TestTimeseriesReport:
+    @pytest.fixture(scope="class")
+    def ts_campaign(self, tmp_path_factory):
+        return run_campaign(
+            [ts_spec()],
+            store=ResultStore(str(tmp_path_factory.mktemp("ts"))))
+
+    def test_sparkline_panel_replaces_bar_chart(self, ts_campaign):
+        text = render_reproduction(ts_campaign)
+        assert "goodput_gbps per window" in text
+        assert "full scale =" in text
+        # one sparkline row per matrix key
+        assert "\nops" in text and "\nreps" in text
+
+    def test_campaign_json_carries_series_arrays(self, ts_campaign):
+        doc = campaign_doc(ts_campaign)
+        fig = doc["figures"][0]
+        assert fig["metric_kind"] == "timeseries"
+        assert sorted(fig["series"]) == ["ops", "reps"]
+        for row in fig["series"].values():
+            assert set(row) == {"t_us", "goodput_gbps"}
+            assert len(row["t_us"]) == len(row["goodput_gbps"]) > 3
+        json.dumps(doc)  # arrays stay JSON-serializable
+
+    def test_scalar_figures_carry_no_series(self, tmp_path):
+        campaign = run_campaign([stub_spec("stub_scalar")],
+                                store=ResultStore(str(tmp_path)))
+        doc = campaign_doc(campaign)
+        fig = doc["figures"][0]
+        assert fig["metric_kind"] == "scalar"
+        assert "series" not in fig
 
 
 class TestCampaignJson:

@@ -182,6 +182,75 @@ class TestDiff:
                    for d in drifts)
 
 
+def series_record(status="pass", goodput=(10.0, 2.0, 9.5, 10.0),
+                  extra_series=None, rows=None):
+    """A record with one time-series figure (table + series arrays)."""
+    doc = record(fig02_ts=(status, rows or [["reps", 42.0, 0]]))
+    fig = doc["figures"][0]
+    fig["series"] = {"reps": {"goodput_gbps": list(goodput)}}
+    if extra_series:
+        fig["series"]["reps"].update(extra_series)
+    return doc
+
+
+class TestSeriesGating:
+    """Time-series drift gates on summary statistics, not elements."""
+
+    def test_identical_series_are_clean(self):
+        report = diff_campaigns(series_record(), series_record())
+        assert report.clean
+
+    def test_stat_drift_is_a_regression(self):
+        report = diff_campaigns(
+            series_record(goodput=(10.0, 2.0, 9.5, 10.0)),
+            series_record(goodput=(10.0, 2.0, 9.5, 5.0)))
+        assert not report.clean
+        described = " ".join(report.regressions())
+        # mean and last moved; they surface as pseudo-cells
+        assert "goodput_gbps[mean]" in described
+        assert "goodput_gbps[last]" in described
+
+    def test_sample_count_change_is_visible(self):
+        report = diff_campaigns(
+            series_record(goodput=(10.0, 2.0, 9.5, 10.0)),
+            series_record(goodput=(10.0, 2.0, 9.5)))
+        assert any("goodput_gbps[n]" in r for r in report.regressions())
+
+    def test_tolerance_applies_to_stats(self):
+        old = series_record(goodput=(10.0, 10.0))
+        new = series_record(goodput=(10.1, 10.1))
+        assert not diff_campaigns(old, new).clean
+        assert diff_campaigns(old, new, tol=0.02).clean
+
+    def test_vanished_series_is_a_regression(self):
+        old = series_record(extra_series={"queue_kb": [1.0, 2.0]})
+        new = series_record()
+        report = diff_campaigns(old, new)
+        assert any("queue_kb[mean]" in r and "vanished" in r
+                   for r in report.regressions())
+
+    def test_added_series_is_benign_but_visible(self):
+        old = series_record()
+        new = series_record(extra_series={"queue_kb": [1.0, 2.0]})
+        report = diff_campaigns(old, new)
+        assert report.clean
+        rendered = render_trend(report)
+        assert "[NEW]" in rendered and "queue_kb" in rendered
+
+    def test_series_only_row_counts_for_coverage(self):
+        old = series_record()
+        old["figures"][0]["series"]["ops"] = {"goodput_gbps": [1.0]}
+        new = series_record()
+        report = diff_campaigns(old, new)
+        assert any("row 'ops' vanished" in r
+                   for r in report.regressions())
+
+    def test_none_samples_are_skipped_in_stats(self):
+        old = series_record(goodput=(10.0, None, 9.0))
+        new = series_record(goodput=(10.0, None, 9.0))
+        assert diff_campaigns(old, new).clean
+
+
 class TestRender:
     def test_clean_report_renders_summary(self):
         text = render_trend(diff_campaigns(BASE, BASE))

@@ -14,7 +14,8 @@ def _clean_harness_env():
     whatever the test exported afterwards (monkeypatch.delenv cannot:
     it only undoes changes it made itself, not the CLI's)."""
     import os
-    keys = ("REPRO_BENCH_SCALE", "REPRO_SHARD", "REPRO_BACKEND")
+    keys = ("REPRO_BENCH_SCALE", "REPRO_SHARD", "REPRO_BACKEND",
+            "REPRO_STORE")
     saved = {key: os.environ.pop(key, None) for key in keys}
     yield
     for key, value in saved.items():
@@ -446,6 +447,26 @@ class TestShard:
         assert [f["status"] for f in sharded["figures"]] == \
             [f["status"] for f in single["figures"]]
 
+    def test_merge_reads_v2_sources_under_json_policy(self, capsys,
+                                                      tmp_path):
+        """Regression (code review): columnar shard stores merged
+        with $REPRO_STORE=json must not silently merge 0 artifacts."""
+        import os
+        self.plan(capsys, tmp_path)
+        for i in (0, 1):
+            code, _ = run_cli(
+                capsys, "shard", "run",
+                str(tmp_path / "plan" / f"shard-{i}.json"),
+                "--store", str(tmp_path / f"shard-{i}"))
+            assert code == 0
+        os.environ["REPRO_STORE"] = "json"  # autouse fixture scrubs it
+        code, out = run_cli(
+            capsys, "shard", "merge",
+            "--into", str(tmp_path / "merged-v1"),
+            str(tmp_path / "shard-0"), str(tmp_path / "shard-1"))
+        assert code == 0
+        assert "7 artifact(s) (7 newly merged)" in out
+
     def test_merge_is_idempotent(self, capsys, tmp_path):
         self.full_flow(capsys, tmp_path)
         code, out = run_cli(
@@ -457,9 +478,9 @@ class TestShard:
 
     def test_merged_manifest_records_shard_origin(self, capsys,
                                                   tmp_path):
-        from repro.harness.sweep import ResultStore
+        from repro.harness.store import open_store
         self.full_flow(capsys, tmp_path)
-        manifest = ResultStore(
+        manifest = open_store(
             str(tmp_path / "merged" / "campaign")).manifest()
         assert len(manifest) == 7
         assert {e["origin"] for e in manifest.values()} == \
@@ -519,6 +540,132 @@ class TestShard:
         with pytest.raises(SystemExit, match="figures list"):
             run_cli(capsys, "shard", "plan", "--only", "fig99",
                     "--out", str(tmp_path / "plan"))
+
+    def test_run_exports_shard_identity(self, capsys, tmp_path):
+        """Backfill (ISSUE 5): `shard run` exports $REPRO_SHARD for
+        everything provenance-aware below it — previously only
+        exercised end-to-end in CI."""
+        import os
+
+        from repro.report import collect_provenance
+        self.plan(capsys, tmp_path)
+        code, _ = run_cli(
+            capsys, "shard", "run",
+            str(tmp_path / "plan" / "shard-1.json"),
+            "--store", str(tmp_path / "s1"))
+        assert code == 0
+        assert os.environ["REPRO_SHARD"] == "1/2"
+        assert collect_provenance()["shard"] == "1/2"
+
+    def test_drift_refusal_runs_nothing(self, capsys, tmp_path):
+        """Backfill (ISSUE 5): the simulator-drift refusal must fire
+        before any task executes — no store directory, no artifacts,
+        no $REPRO_SHARD export."""
+        import json
+        import os
+        self.plan(capsys, tmp_path)
+        path = tmp_path / "plan" / "shard-0.json"
+        manifest = json.loads(path.read_text())
+        manifest["sim"] = "f" * 16
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(SystemExit, match="re-plan"):
+            run_cli(capsys, "shard", "run", str(path),
+                    "--store", str(tmp_path / "never"))
+        assert not (tmp_path / "never").exists()
+        assert "REPRO_SHARD" not in os.environ
+
+
+class TestStore:
+    """`repro store compact | inspect | verify` + the $REPRO_STORE
+    format policy."""
+
+    def campaign_store(self, capsys, tmp_path, env=None):
+        import os
+        # the autouse _clean_harness_env fixture scrubs these keys
+        # after the test, so plain assignment is safe here
+        os.environ.update(env or {})
+        try:
+            code, _ = run_cli(
+                capsys, "figures", "run", "--only", "table1",
+                "--scale", "smoke",
+                "--results-dir", str(tmp_path / "results"),
+                "--report", str(tmp_path / "R.md"),
+                "--json", str(tmp_path / "c.json"))
+        finally:
+            for key in (env or {}):
+                os.environ.pop(key, None)
+        assert code == 0
+        return str(tmp_path / "results" / "campaign")
+
+    def test_inspect_and_verify_columnar_store(self, capsys, tmp_path):
+        root = self.campaign_store(capsys, tmp_path)
+        code, out = run_cli(capsys, "store", "inspect", root)
+        assert code == 0
+        assert "segment records" in out
+        code, out = run_cli(capsys, "store", "verify", root)
+        assert code == 0
+        assert "store verify: OK" in out
+
+    def test_compact_migrates_a_json_store(self, capsys, tmp_path):
+        """The v1 -> v2 migration: campaign on a JSON store, compact,
+        then a default (columnar) re-run is fully cached."""
+        import os
+        root = self.campaign_store(capsys, tmp_path,
+                                   env={"REPRO_STORE": "json"})
+        json_files = [n for n in os.listdir(root)
+                      if n.endswith(".json") and n != "manifest.json"]
+        assert json_files  # the JSON store really wrote per-task files
+        code, out = run_cli(capsys, "store", "compact", root)
+        assert code == 0
+        assert f"{len(json_files)} JSON artifact(s) absorbed" in out
+        assert [n for n in os.listdir(root) if n.endswith(".json")] == \
+            ["manifest.json"]
+        code, out = run_cli(
+            capsys, "figures", "run", "--only", "table1",
+            "--scale", "smoke",
+            "--results-dir", str(tmp_path / "results"),
+            "--report", str(tmp_path / "R2.md"),
+            "--json", str(tmp_path / "c2.json"))
+        assert code == 0
+        assert "(0 executed" in out
+
+    def test_verify_flags_corruption(self, capsys, tmp_path):
+        import os
+        root = self.campaign_store(capsys, tmp_path)
+        seg = os.path.join(root, "store.seg")
+        with open(seg, "r+b") as fh:
+            fh.seek(os.path.getsize(seg) - 4)
+            fh.write(b"\xff\xff\xff\xff")
+        code, out = run_cli(capsys, "store", "verify", root)
+        assert code == 1
+        assert "store verify: FAILED" in out
+
+    def test_compact_refuses_under_json_policy(self, capsys, tmp_path,
+                                               monkeypatch):
+        """Regression (code review): compacting while $REPRO_STORE=json
+        is pinned would make the whole cache invisible to the very
+        pipeline that's pinned to the legacy format."""
+        root = self.campaign_store(capsys, tmp_path,
+                                   env={"REPRO_STORE": "json"})
+        monkeypatch.setenv("REPRO_STORE", "json")
+        with pytest.raises(SystemExit, match="unset it first"):
+            run_cli(capsys, "store", "compact", root)
+
+    def test_store_commands_reject_missing_dir(self, capsys, tmp_path):
+        for command in ("compact", "inspect", "verify"):
+            with pytest.raises(SystemExit, match="store directory"):
+                run_cli(capsys, "store", command,
+                        str(tmp_path / "ghost"))
+
+    def test_bad_store_env_fails_cleanly(self, capsys, tmp_path,
+                                         monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "parquet")
+        with pytest.raises(SystemExit, match="REPRO_STORE"):
+            run_cli(capsys, "sweep", "--lbs", "reps",
+                    "--pattern", "tornado", "--mib", "0.25",
+                    "--hosts", "8", "--hosts-per-t0", "4",
+                    "--seeds", "1", "--name", "x",
+                    "--results-dir", str(tmp_path))
 
 
 class TestFiguresTrend:
