@@ -294,6 +294,31 @@ def _build_parser() -> argparse.ArgumentParser:
     fp_p.add_argument("--buffer", type=int, default=8)
     fp_p.add_argument("--evs", type=int, default=65536)
     fp_p.add_argument("--lifespan", type=int, default=1)
+
+    perf_p = sub.add_parser(
+        "perf", help="core perf micro-benchmarks + perf.json gate")
+    perf_sub = perf_p.add_subparsers(dest="perf_command", required=True)
+    pr_p = perf_sub.add_parser(
+        "run", help="capture a perf record for the current simulator")
+    pr_p.add_argument("--scale", type=int, default=None,
+                      help="workload multiplier (default: the committed "
+                           "quick scale)")
+    pr_p.add_argument("--repeats", type=int, default=3,
+                      help="runs per scenario; fastest wall wins")
+    pr_p.add_argument("--only", default=None, metavar="NAMES",
+                      help="comma-separated scenario names to run")
+    pr_p.add_argument("--json", dest="json_path", default=None,
+                      help="write the record to this path")
+    pt_p = perf_sub.add_parser(
+        "trend", help="diff a fresh capture against a committed record")
+    pt_p.add_argument("old", help="baseline perf.json")
+    pt_p.add_argument("new", help="candidate perf.json")
+    pt_p.add_argument("--tol", type=float, default=0.25,
+                      help="relative throughput tolerance (default 0.25; "
+                           "deterministic counters are always exact)")
+    pt_p.add_argument("--strict", action="store_true",
+                      help="exit non-zero on counter mismatch or "
+                           "out-of-band throughput regression")
     return parser
 
 
@@ -803,6 +828,44 @@ def _cmd_footprint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf_run(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .harness.perf import QUICK_SCALE, render_record, run_perf
+
+    names = args.only.split(",") if args.only else None
+    scale = args.scale if args.scale is not None else QUICK_SCALE
+    record = run_perf(scale=scale, repeats=args.repeats, names=names)
+    print(render_record(record))
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            _json.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"record: {args.json_path}")
+    return 0
+
+
+def _cmd_perf_trend(args: argparse.Namespace) -> int:
+    from .harness.perf import diff_perf, load_record, render_diff
+
+    try:
+        old_doc = load_record(args.old)
+        new_doc = load_record(args.new)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro perf trend: {exc}")
+    if args.tol < 0:
+        raise SystemExit("repro perf trend: --tol must be >= 0")
+    diff = diff_perf(old_doc, new_doc, tol=args.tol)
+    print(render_diff(diff, args.tol))
+    return 0 if (diff.clean or not args.strict) else 1
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    if args.perf_command == "trend":
+        return _cmd_perf_trend(args)
+    return _cmd_perf_run(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -814,6 +877,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "store": _cmd_store,
         "docs": _cmd_docs,
         "footprint": _cmd_footprint,
+        "perf": _cmd_perf,
     }
     return handlers[args.command](args)
 

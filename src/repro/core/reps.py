@@ -11,7 +11,7 @@ Terminology maps 1:1 onto the paper's pseudocode:
 =====================  ==========================================
 Paper                  Here
 =====================  ==========================================
-``repsBuffer``         ``self._buffer`` (list of ``_Entry``)
+``repsBuffer``         ``self._evs`` / ``self._uses`` (paired arrays)
 ``head``               ``self._head``
 ``numberOfValidEVs``   ``self._num_valid``
 ``isFreezingMode``     ``self._freezing``
@@ -27,6 +27,7 @@ Paper                  Here
 from __future__ import annotations
 
 import random
+from array import array
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
@@ -71,24 +72,6 @@ class RepsConfig:
         return self.explore_every or self.buffer_size
 
 
-class _Entry:
-    """One circular-buffer slot: a cached EV and its remaining uses.
-
-    ``uses_left > 0`` is the paper's validity bit; the extra counter
-    implements the Reuse-EVs variant (standard REPS always refills to 1).
-    """
-
-    __slots__ = ("ev", "uses_left")
-
-    def __init__(self) -> None:
-        self.ev = 0
-        self.uses_left = 0
-
-    @property
-    def valid(self) -> bool:
-        return self.uses_left > 0
-
-
 class RepsSender:
     """Per-connection REPS state machine (Algorithms 1 and 2).
 
@@ -113,7 +96,16 @@ class RepsSender:
         self.rng = rng or random.Random()
         self._cwnd_pkts = cwnd_pkts or (lambda: 4 * self.config.buffer_size)
         n = self.config.buffer_size
-        self._buffer: List[_Entry] = [_Entry() for _ in range(n)]
+        # The circular buffer as paired tables (htsim-style): cached EVs
+        # and their remaining uses, plus the config scalars the per-packet
+        # path needs copied out of the dataclass, so next_entropy/on_ack
+        # are pure table lookups with no object or dataclass hops.
+        self._evs = array("l", [0] * n)
+        self._uses = array("l", [0] * n)
+        self._n = n
+        self._lifespan = self.config.ev_lifespan
+        self._evs_size = self.config.evs_size
+        self._explore_period = self.config.explore_period
         self._head = 0
         self._num_valid = 0
         self._freezing = False
@@ -131,6 +123,17 @@ class RepsSender:
     # inspection helpers (used by tests and telemetry)
     # ------------------------------------------------------------------
     @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    @rng.setter
+    def rng(self, rng: random.Random) -> None:
+        # keep the cached bound method in step with the source of
+        # randomness (tests swap in fresh seeded Randoms)
+        self._rng = rng
+        self._randrange = rng.randrange
+
+    @property
     def freezing(self) -> bool:
         return self._freezing
 
@@ -145,7 +148,7 @@ class RepsSender:
     @property
     def buffer_snapshot(self) -> List[tuple]:
         """(ev, uses_left) per slot, index 0 = slot 0 (not head-relative)."""
-        return [(e.ev, e.uses_left) for e in self._buffer]
+        return list(zip(self._evs, self._uses))
 
     # ------------------------------------------------------------------
     # Algorithm 1: onAck
@@ -153,14 +156,19 @@ class RepsSender:
     def on_ack(self, ev: int, ecn: bool, now: int) -> None:
         """Process one acknowledged entropy (Algorithm 1, lines 5-19)."""
         if not ecn:
-            entry = self._buffer[self._head]
-            if not entry.valid:
+            head = self._head
+            if self._uses[head] <= 0:
                 self._num_valid += 1
-            entry.ev = ev
-            entry.uses_left = self.config.ev_lifespan
-            self._head = (self._head + 1) % self.config.buffer_size
+            self._evs[head] = ev
+            self._uses[head] = self._lifespan
+            head += 1
+            self._head = head if head < self._n else 0
             self._ever_cached = True
-        self._maybe_exit_freezing(now)
+        # _maybe_exit_freezing, inlined off the per-ACK path
+        if self._freezing and not self._force_frozen and \
+                now > self._exit_freezing_at:
+            self._freezing = False
+            self._explore_counter = max(1, self._cwnd_pkts())
 
     def _maybe_exit_freezing(self, now: int) -> None:
         """Time-based exit (Sec. 3.2: "exit freezing mode after a fixed
@@ -198,37 +206,48 @@ class RepsSender:
     # ------------------------------------------------------------------
     def _get_next_ev(self) -> int:
         """Pop the oldest valid EV, or cycle stale ones while frozen."""
-        n = self.config.buffer_size
-        if self._num_valid > 0:
-            offset = (self._head - self._num_valid) % n
-            entry = self._buffer[offset]
-            entry.uses_left -= 1
-            if entry.uses_left == 0:
-                self._num_valid -= 1
+        valid = self._num_valid
+        if valid > 0:
+            offset = self._head - valid
+            if offset < 0:
+                offset += self._n
+            uses = self._uses[offset] - 1
+            self._uses[offset] = uses
+            if uses == 0:
+                self._num_valid = valid - 1
             self.stats_recycled += 1
-            return entry.ev
+            return self._evs[offset]
         # numberOfValidEVs == 0: only reached in freezing mode, where stale
         # entries are knowingly reused (Sec. 3.2, item 2).
         offset = self._head
-        self._head = (self._head + 1) % n
+        head = offset + 1
+        self._head = head if head < self._n else 0
         self.stats_frozen_reuse += 1
-        return self._buffer[offset].ev
+        return self._evs[offset]
 
     def _random_ev(self) -> int:
         self.stats_explored += 1
-        return self.rng.randrange(self.config.evs_size)
+        return self._randrange(self._evs_size)
 
     def next_entropy(self, now: int) -> int:
         """Choose the EV for the next data packet (Algorithm 2, onSend)."""
-        self._maybe_exit_freezing(now)
-        if self._explore_counter > 0:
-            self._explore_counter -= 1
-            if self._explore_counter % self.config.explore_period == 0:
-                return self._random_ev()
+        # _maybe_exit_freezing, inlined off the per-packet path
+        if self._freezing and not self._force_frozen and \
+                now > self._exit_freezing_at:
+            self._freezing = False
+            self._explore_counter = max(1, self._cwnd_pkts())
+        counter = self._explore_counter
+        if counter > 0:
+            counter -= 1
+            self._explore_counter = counter
+            if counter % self._explore_period == 0:
+                self.stats_explored += 1
+                return self._randrange(self._evs_size)
             # otherwise fall through to the normal selection logic
         if not self._ever_cached or (
                 self._num_valid == 0 and not self._freezing):
-            return self._random_ev()
+            self.stats_explored += 1
+            return self._randrange(self._evs_size)
         return self._get_next_ev()
 
     # ------------------------------------------------------------------

@@ -33,8 +33,14 @@ class OpsLb(SenderLoadBalancer):
 
     name = "ops"
 
+    def __init__(self, ctx: LbContext) -> None:
+        super().__init__(ctx)
+        # per-packet path: one bound-method call, no ctx hops
+        self._randrange = ctx.rng.randrange
+        self._evs_size = ctx.evs_size
+
     def next_entropy(self, now: int) -> int:
-        return self.ctx.rng.randrange(self.ctx.evs_size)
+        return self._randrange(self._evs_size)
 
 
 @register("adaptive_roce")

@@ -7,60 +7,99 @@ propagation to the peer node.
 
 ECN marking follows the paper's setup (Sec. 2.1/4.1): packets are marked
 with probability rising linearly from 0 at ``Kmin`` to 1 at ``Kmax`` of
-the instantaneous queue occupancy, evaluated at enqueue.
+the instantaneous queue occupancy, evaluated at enqueue.  Degenerate
+``Kmin == Kmax`` configs mark as a hard threshold (mark iff
+``queue >= Kmax``); ``Kmin > Kmax`` is rejected at construction.
+
+Counters and queue byte-tracking live in one flat ``array('q')`` per
+port (htsim-style array-backed state): the transmit/enqueue hot paths
+touch a single local array reference instead of a tree of attribute
+loads, and :class:`PortStats` is a named view over the same array so
+telemetry keeps its attribute API.
 """
 
 from __future__ import annotations
 
 import random
+from array import array
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Optional
 
 from .engine import Engine
 from .link import Cable
-from .packet import Packet
+from .packet import CONTROL_PACKET_BYTES, Packet
 from .units import tx_time_ps
 
 if TYPE_CHECKING:  # pragma: no cover
-    from .switch import Node
+    from .switch import Node, Switch
 
 #: Control queue capacity, bytes.  Control packets are 64 B, so this is
 #: deep enough that control loss only occurs under pathological incast.
 CONTROL_QUEUE_CAPACITY = 4 * 1024 * 1024
 
+# Indices into the per-port counter array (shared by EgressPort hot paths
+# and the PortStats view).
+_BYTES_TX = 0
+_PKTS_TX = 1
+_DROPS_OVERFLOW = 2
+_DROPS_LINK_DOWN = 3
+_DROPS_BER = 4
+_TRIMS = 5
+_ECN_MARKS = 6
+_PKTS_ENQUEUED = 7
+_DATA_BYTES = 8
+_CTRL_BYTES = 9
+_N_COUNTERS = 10
+
+
+def _counter(idx: int) -> property:
+    def _get(self) -> int:
+        return self._c[idx]
+
+    def _set(self, value: int) -> None:
+        self._c[idx] = value
+
+    return property(_get, _set)
+
 
 class PortStats:
-    """Counters accumulated by one egress port."""
+    """Counters accumulated by one egress port.
 
-    __slots__ = (
-        "bytes_tx", "pkts_tx", "drops_overflow", "drops_link_down",
-        "drops_ber", "trims", "ecn_marks", "pkts_enqueued",
-    )
+    A view over the port's flat counter array: attribute reads/writes
+    map to array cells, so the port's hot path and its telemetry always
+    agree without copying.
+    """
 
-    def __init__(self) -> None:
-        self.bytes_tx = 0
-        self.pkts_tx = 0
-        self.drops_overflow = 0
-        self.drops_link_down = 0
-        self.drops_ber = 0
-        self.trims = 0
-        self.ecn_marks = 0
-        self.pkts_enqueued = 0
+    __slots__ = ("_c",)
+
+    def __init__(self, counters: Optional[array] = None) -> None:
+        self._c = counters if counters is not None \
+            else array("q", [0] * _N_COUNTERS)
+
+    bytes_tx = _counter(_BYTES_TX)
+    pkts_tx = _counter(_PKTS_TX)
+    drops_overflow = _counter(_DROPS_OVERFLOW)
+    drops_link_down = _counter(_DROPS_LINK_DOWN)
+    drops_ber = _counter(_DROPS_BER)
+    trims = _counter(_TRIMS)
+    ecn_marks = _counter(_ECN_MARKS)
+    pkts_enqueued = _counter(_PKTS_ENQUEUED)
 
     @property
     def total_drops(self) -> int:
-        return self.drops_overflow + self.drops_link_down + self.drops_ber
+        c = self._c
+        return c[_DROPS_OVERFLOW] + c[_DROPS_LINK_DOWN] + c[_DROPS_BER]
 
 
 class EgressPort:
     """One direction of a link: queue, transmitter, and wire."""
 
     __slots__ = (
-        "engine", "name", "rate_gbps", "latency_ps", "peer", "cable",
+        "engine", "name", "latency_ps", "peer", "cable",
         "capacity_bytes", "kmin_bytes", "kmax_bytes", "ecn_enabled",
-        "trim_enabled", "rng", "stats", "excluded",
-        "_data_q", "_ctrl_q", "_data_bytes", "_ctrl_bytes", "_busy",
-        "on_drop",
+        "trim_enabled", "ctrl_capacity_bytes", "rng", "stats", "owner",
+        "_rate_gbps", "_excluded", "_tx_cache", "_c", "_mark_floor",
+        "_data_q", "_ctrl_q", "_busy", "on_drop", "_rx",
     )
 
     def __init__(
@@ -76,27 +115,46 @@ class EgressPort:
         rng: random.Random,
         ecn_enabled: bool = True,
         trim_enabled: bool = False,
+        ctrl_capacity_bytes: int = CONTROL_QUEUE_CAPACITY,
     ) -> None:
+        if not 0 <= kmin_bytes <= kmax_bytes:
+            raise ValueError(
+                f"ECN thresholds must satisfy 0 <= kmin <= kmax, "
+                f"got kmin={kmin_bytes} kmax={kmax_bytes}"
+            )
         self.engine = engine
         self.name = name
-        self.rate_gbps = rate_gbps
+        self._rate_gbps = rate_gbps
         self.latency_ps = latency_ps
         self.peer: Optional["Node"] = None
+        #: the peer's bound ``receive``, cached at first delivery (the
+        #: peer is wired once, before any packet can possibly arrive)
+        self._rx: Optional[Callable[[Packet], None]] = None
         self.cable: Optional[Cable] = None
         self.capacity_bytes = capacity_bytes
         self.kmin_bytes = kmin_bytes
         self.kmax_bytes = kmax_bytes
         self.ecn_enabled = ecn_enabled
         self.trim_enabled = trim_enabled
+        self.ctrl_capacity_bytes = ctrl_capacity_bytes
+        #: occupancy at or below which marking can never fire: kmin in
+        #: the linear regime, kmax-1 for the degenerate hard threshold
+        self._mark_floor = kmin_bytes if kmin_bytes < kmax_bytes \
+            else kmax_bytes - 1
         self.rng = rng
-        self.stats = PortStats()
+        self._c = array("q", [0] * _N_COUNTERS)
+        self.stats = PortStats(self._c)
+        #: the switch whose uplink group contains this port (None for
+        #: host NICs / down ports); lets ``excluded``/``rate_gbps``
+        #: writes invalidate that switch's cached ECMP/WCMP groups
+        self.owner: Optional["Switch"] = None
         #: set True when the control plane excludes this port from ECMP
         #: groups after a failure (Sec. 3.2's "10 ms to update the group").
-        self.excluded = False
+        self._excluded = False
+        #: per-packet-size serialization times at the current rate
+        self._tx_cache: dict = {}
         self._data_q: deque = deque()
         self._ctrl_q: deque = deque()
-        self._data_bytes = 0
-        self._ctrl_bytes = 0
         self._busy = False
         #: optional hook invoked with each dropped data packet (used by the
         #: transport for loss accounting in tests; real senders learn about
@@ -104,16 +162,43 @@ class EgressPort:
         self.on_drop: Optional[Callable[[Packet], None]] = None
 
     # ------------------------------------------------------------------
+    # cached-state invalidation
+    # ------------------------------------------------------------------
+    @property
+    def rate_gbps(self) -> float:
+        return self._rate_gbps
+
+    @rate_gbps.setter
+    def rate_gbps(self, gbps: float) -> None:
+        self._rate_gbps = gbps
+        self._tx_cache.clear()
+        owner = self.owner
+        if owner is not None:
+            owner._healthy_cache_dirty = True
+
+    @property
+    def excluded(self) -> bool:
+        return self._excluded
+
+    @excluded.setter
+    def excluded(self, value: bool) -> None:
+        self._excluded = value
+        owner = self.owner
+        if owner is not None:
+            owner._healthy_cache_dirty = True
+
+    # ------------------------------------------------------------------
     # queue state
     # ------------------------------------------------------------------
     @property
     def queue_bytes(self) -> int:
         """Bytes of data waiting (excludes the in-flight packet)."""
-        return self._data_bytes
+        return self._c[_DATA_BYTES]
 
     @property
     def total_queue_bytes(self) -> int:
-        return self._data_bytes + self._ctrl_bytes
+        c = self._c
+        return c[_DATA_BYTES] + c[_CTRL_BYTES]
 
     @property
     def busy(self) -> bool:
@@ -124,52 +209,106 @@ class EgressPort:
     # ------------------------------------------------------------------
     def enqueue(self, pkt: Packet) -> None:
         """Accept a packet for transmission (or drop / trim it)."""
-        self.stats.pkts_enqueued += 1
-        if pkt.is_control:
-            if self._ctrl_bytes + pkt.size > CONTROL_QUEUE_CAPACITY:
+        c = self._c
+        c[_PKTS_ENQUEUED] += 1
+        size = pkt.size
+        if pkt.is_ack or pkt.is_nack or pkt.trimmed:
+            if c[_CTRL_BYTES] + size > self.ctrl_capacity_bytes:
                 self._drop(pkt, "overflow")
                 return
             self._ctrl_q.append(pkt)
-            self._ctrl_bytes += pkt.size
+            c[_CTRL_BYTES] += size
+        elif c[_DATA_BYTES] + size > self.capacity_bytes:
+            if not self.trim_enabled or (
+                    c[_CTRL_BYTES] + CONTROL_PACKET_BYTES
+                    > self.ctrl_capacity_bytes):
+                # no trimming, or the trimmed header would itself overflow
+                # the control queue: the packet is lost either way
+                self._drop(pkt, "overflow")
+                return
+            pkt.trim()
+            c[_TRIMS] += 1
+            self._ctrl_q.append(pkt)
+            c[_CTRL_BYTES] += pkt.size
         else:
-            if self._data_bytes + pkt.size > self.capacity_bytes:
-                if self.trim_enabled:
-                    pkt.trim()
-                    self.stats.trims += 1
-                    self._ctrl_q.append(pkt)
-                    self._ctrl_bytes += pkt.size
-                else:
-                    self._drop(pkt, "overflow")
-                    return
-            else:
-                if self.ecn_enabled and not pkt.ecn:
-                    self._maybe_mark(pkt)
-                self._data_q.append(pkt)
-                self._data_bytes += pkt.size
+            if self.ecn_enabled and not pkt.ecn \
+                    and c[_DATA_BYTES] > self._mark_floor:
+                self._maybe_mark(pkt)
+            self._data_q.append(pkt)
+            c[_DATA_BYTES] += size
         if not self._busy:
             self._start_next()
 
+    def enqueue_burst(self, pkts) -> None:
+        """Enqueue several packets handed over at the same instant.
+
+        Semantically identical to calling :meth:`enqueue` per packet
+        (same drop/trim/mark decisions in the same order); exists so a
+        sender flushing a window's worth of packets pays the attribute
+        lookups once.
+        """
+        c = self._c
+        ctrl_cap = self.ctrl_capacity_bytes
+        capacity = self.capacity_bytes
+        data_q = self._data_q
+        ctrl_q = self._ctrl_q
+        ecn_on = self.ecn_enabled
+        for pkt in pkts:
+            c[_PKTS_ENQUEUED] += 1
+            size = pkt.size
+            if pkt.is_ack or pkt.is_nack or pkt.trimmed:
+                if c[_CTRL_BYTES] + size > ctrl_cap:
+                    self._drop(pkt, "overflow")
+                    continue
+                ctrl_q.append(pkt)
+                c[_CTRL_BYTES] += size
+            elif c[_DATA_BYTES] + size > capacity:
+                if not self.trim_enabled or (
+                        c[_CTRL_BYTES] + CONTROL_PACKET_BYTES > ctrl_cap):
+                    self._drop(pkt, "overflow")
+                    continue
+                pkt.trim()
+                c[_TRIMS] += 1
+                ctrl_q.append(pkt)
+                c[_CTRL_BYTES] += pkt.size
+            else:
+                if ecn_on and not pkt.ecn \
+                        and c[_DATA_BYTES] > self._mark_floor:
+                    self._maybe_mark(pkt)
+                data_q.append(pkt)
+                c[_DATA_BYTES] += size
+            if not self._busy:
+                self._start_next()
+
     def _maybe_mark(self, pkt: Packet) -> None:
         """RED-style linear marking on instantaneous occupancy."""
-        q = self._data_bytes
-        if q <= self.kmin_bytes:
+        q = self._c[_DATA_BYTES]
+        kmin = self.kmin_bytes
+        kmax = self.kmax_bytes
+        if kmin == kmax:
+            # degenerate config: a hard threshold, no linear region
+            if q >= kmax:
+                pkt.ecn = True
+                self._c[_ECN_MARKS] += 1
             return
-        if q >= self.kmax_bytes:
+        if q <= kmin:
+            return
+        if q >= kmax:
             pkt.ecn = True
         else:
-            p = (q - self.kmin_bytes) / (self.kmax_bytes - self.kmin_bytes)
+            p = (q - kmin) / (kmax - kmin)
             if self.rng.random() < p:
                 pkt.ecn = True
         if pkt.ecn:
-            self.stats.ecn_marks += 1
+            self._c[_ECN_MARKS] += 1
 
     def _drop(self, pkt: Packet, reason: str) -> None:
         if reason == "overflow":
-            self.stats.drops_overflow += 1
+            self._c[_DROPS_OVERFLOW] += 1
         elif reason == "link_down":
-            self.stats.drops_link_down += 1
+            self._c[_DROPS_LINK_DOWN] += 1
         else:
-            self.stats.drops_ber += 1
+            self._c[_DROPS_BER] += 1
         if self.on_drop is not None:
             self.on_drop(pkt)
 
@@ -177,22 +316,28 @@ class EgressPort:
     # transmit path
     # ------------------------------------------------------------------
     def _start_next(self) -> None:
+        c = self._c
         if self._ctrl_q:
             pkt = self._ctrl_q.popleft()
-            self._ctrl_bytes -= pkt.size
+            c[_CTRL_BYTES] -= pkt.size
         elif self._data_q:
             pkt = self._data_q.popleft()
-            self._data_bytes -= pkt.size
+            c[_DATA_BYTES] -= pkt.size
         else:
             return
         self._busy = True
-        self.engine.after(tx_time_ps(pkt.size, self.rate_gbps),
-                          self._tx_done, pkt)
+        size = pkt.size
+        tx = self._tx_cache.get(size)
+        if tx is None:
+            tx = self._tx_cache[size] = tx_time_ps(size, self._rate_gbps)
+        engine = self.engine
+        engine.at(engine.now + tx, self._tx_done, pkt)
 
     def _tx_done(self, pkt: Packet) -> None:
-        self._busy = False
-        self.stats.bytes_tx += pkt.size
-        self.stats.pkts_tx += 1
+        c = self._c
+        c[_BYTES_TX] += pkt.size
+        c[_PKTS_TX] += 1
+        engine = self.engine
         cable = self.cable
         if cable is not None and cable.down:
             self._drop(pkt, "link_down")
@@ -200,8 +345,22 @@ class EgressPort:
                 self.rng.random() < cable.ber:
             self._drop(pkt, "ber")
         else:
-            self.engine.after(self.latency_ps, self._deliver, pkt)
-        self._start_next()
+            engine.at(engine.now + self.latency_ps, self._deliver, pkt)
+        # _start_next, inlined: this port's transmitter just went idle
+        if self._ctrl_q:
+            nxt = self._ctrl_q.popleft()
+            c[_CTRL_BYTES] -= nxt.size
+        elif self._data_q:
+            nxt = self._data_q.popleft()
+            c[_DATA_BYTES] -= nxt.size
+        else:
+            self._busy = False
+            return
+        size = nxt.size
+        tx = self._tx_cache.get(size)
+        if tx is None:
+            tx = self._tx_cache[size] = tx_time_ps(size, self._rate_gbps)
+        engine.at(engine.now + tx, self._tx_done, nxt)
 
     def _deliver(self, pkt: Packet) -> None:
         cable = self.cable
@@ -209,5 +368,9 @@ class EgressPort:
             # the cable died while the packet was in flight
             self._drop(pkt, "link_down")
             return
-        assert self.peer is not None, f"port {self.name} has no peer"
-        self.peer.receive(pkt)
+        rx = self._rx
+        if rx is None:
+            peer = self.peer
+            assert peer is not None, f"port {self.name} has no peer"
+            rx = self._rx = peer.receive
+        rx(pkt)

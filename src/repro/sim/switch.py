@@ -78,6 +78,7 @@ class Switch(Node):
     __slots__ = (
         "name", "tier", "salt", "mode", "rng",
         "up_ports", "down_route", "_healthy_cache_dirty",
+        "_ecmp_group", "_wcmp_weights",
     )
 
     def __init__(
@@ -98,14 +99,21 @@ class Switch(Node):
         self.rng = rng
         self.up_ports: List[EgressPort] = []
         self.down_route: Dict[int, EgressPort] = {}
+        #: set by EgressPort.excluded / .rate_gbps writes (via the port's
+        #: ``owner`` backref) so group membership and WCMP weights are
+        #: recomputed per *change*, not per packet
         self._healthy_cache_dirty = True
+        self._ecmp_group: tuple = ((), 0)
+        self._wcmp_weights: tuple = ((), 0)
 
     # ------------------------------------------------------------------
     def receive(self, pkt: Packet) -> None:
-        port = self.route(pkt)
+        port = self.down_route.get(pkt.dst)
         if port is None:
-            # no usable uplink at all: blackhole the packet
-            return
+            port = self._pick_uplink(pkt)
+            if port is None:
+                # no usable uplink at all: blackhole the packet
+                return
         port.enqueue(pkt)
 
     def route(self, pkt: Packet) -> Optional[EgressPort]:
@@ -116,10 +124,43 @@ class Switch(Node):
         return self._pick_uplink(pkt)
 
     # ------------------------------------------------------------------
+    def _rebuild_group_caches(self) -> None:
+        """Recompute the ECMP group and WCMP weights after membership or
+        rate changes (port exclusion, degradation, recovery)."""
+        ports = self.up_ports
+        group = ports
+        for p in ports:
+            if p._excluded:
+                group = [q for q in ports if not q._excluded] or ports
+                break
+        self._ecmp_group = (group, len(group))
+        if ports:
+            min_rate = min(p._rate_gbps for p in ports)
+            weights = [max(1, round(p._rate_gbps / min_rate))
+                       for p in ports]
+            self._wcmp_weights = (weights, sum(weights))
+        self._healthy_cache_dirty = False
+
     def _pick_uplink(self, pkt: Packet) -> Optional[EgressPort]:
         ports = self.up_ports
         if not ports:
             return None
+        if self.mode == "ecmp":
+            # hot path: cached group + inlined ecmp_hash (same mix as the
+            # public function; keep the two in sync)
+            if self._healthy_cache_dirty:
+                self._rebuild_group_caches()
+            group, n = self._ecmp_group
+            x = (pkt.src * 0x9E3779B97F4A7C15
+                 + pkt.dst * 0xBF58476D1CE4E5B9
+                 + pkt.ev * 0x94D049BB133111EB
+                 + self.salt * 0xD6E8FEB86659FD93) & _M64
+            x ^= x >> 30
+            x = (x * 0xBF58476D1CE4E5B9) & _M64
+            x ^= x >> 27
+            x = (x * 0x94D049BB133111EB) & _M64
+            x ^= x >> 31
+            return group[x % n]
         if self.mode == "adaptive":
             # DRILL/Adaptive-RoCE style power-of-two-choices: sample two
             # random uplinks and take the shorter queue.  Real adaptive
@@ -138,30 +179,27 @@ class Switch(Node):
         if self.mode == "source":
             return ports[pkt.ev % len(ports)]
         if self.mode == "wcmp":
-            return self._weighted_pick(ports, pkt)
-        # ECMP: exclude ports the control plane removed from the group
+            # WCMP: hash into the group with per-port weights proportional
+            # to the current link rate, so a 200G member of a 400G group
+            # draws half the flows (Zhou et al., EuroSys '14)
+            if self._healthy_cache_dirty:
+                self._rebuild_group_caches()
+            weights, total = self._wcmp_weights
+            slot = ecmp_hash(pkt.src, pkt.dst, pkt.ev, self.salt) % total
+            for port, w in zip(ports, weights):
+                if slot < w:
+                    return port
+                slot -= w
+            return ports[-1]  # unreachable; guards float quirks
+        # ECMP group after an "ideal"-mode fallthrough (every uplink
+        # dead): exclude ports the control plane removed from the group
         # (after routing_update_delay), exactly like a real ECMP group
         # shrink.  Until then failed ports still attract traffic.
-        group = ports
-        if any(p.excluded for p in ports):
-            group = [p for p in ports if not p.excluded] or ports
+        if self._healthy_cache_dirty:
+            self._rebuild_group_caches()
+        group, n = self._ecmp_group
         h = ecmp_hash(pkt.src, pkt.dst, pkt.ev, self.salt)
-        return group[h % len(group)]
-
-    def _weighted_pick(self, ports: List[EgressPort],
-                       pkt: Packet) -> EgressPort:
-        """WCMP: hash into the group with per-port weights proportional
-        to the current link rate, so a 200G member of a 400G group draws
-        half the flows (Zhou et al., EuroSys '14)."""
-        min_rate = min(p.rate_gbps for p in ports)
-        weights = [max(1, round(p.rate_gbps / min_rate)) for p in ports]
-        total = sum(weights)
-        slot = ecmp_hash(pkt.src, pkt.dst, pkt.ev, self.salt) % total
-        for port, w in zip(ports, weights):
-            if slot < w:
-                return port
-            slot -= w
-        return ports[-1]  # unreachable; guards float quirks
+        return group[h % n]
 
     @staticmethod
     def _path_healthy(port: EgressPort, dst: int) -> bool:

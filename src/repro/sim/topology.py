@@ -181,6 +181,7 @@ class FatTree:
                 cable = self._wire(
                     t0, t1, f"{t0.name}->{t1.name}", f"{t1.name}->{t0.name}",
                     p.link_gbps, f"{t0.name}<->{t1.name}")
+                cable.a_port.owner = t0
                 t0.up_ports.append(cable.a_port)
                 t1_port = cable.b_port
                 for h in self._hosts_of_t0(t0):
@@ -211,6 +212,7 @@ class FatTree:
                         t0, t1, f"{t0.name}->{t1.name}",
                         f"{t1.name}->{t0.name}",
                         p.link_gbps, f"{t0.name}<->{t1.name}")
+                    cable.a_port.owner = t0
                     t0.up_ports.append(cable.a_port)
                     for h in self._hosts_of_t0(t0):
                         t1.down_route[h] = cable.b_port
@@ -222,6 +224,7 @@ class FatTree:
                         t1, t2, f"{t1.name}->{t2.name}",
                         f"{t2.name}->{t1.name}",
                         p.link_gbps, f"{t1.name}<->{t2.name}")
+                    cable.a_port.owner = t1
                     t1.up_ports.append(cable.a_port)
                     for h in pod_hosts:
                         t2.down_route[h] = cable.b_port

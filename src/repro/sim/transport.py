@@ -138,31 +138,51 @@ class FlowSender:
         self._try_send()
 
     def _try_send(self) -> None:
-        if self.done:
+        if self.complete_time is not None:
             return
         now = self.engine.now
-        while self._inflight_bytes < self.cc.cwnd:
-            if self._retx_q:
-                seq = self._retx_q.popleft()
-                if seq in self._acked:
+        retx_q = self._retx_q
+        acked = self._acked
+        outstanding = self._outstanding
+        stats = self.stats
+        next_entropy = self.lb.next_entropy
+        n_pkts = self.n_pkts
+        mtu = self.mtu
+        src, dst, flow_id = self.src, self.dst, self.flow_id
+        cwnd = self.cc.cwnd
+        inflight = self._inflight_bytes
+        burst: List[Packet] = []
+        while inflight < cwnd:
+            if retx_q:
+                seq = retx_q.popleft()
+                if seq in acked:
                     continue
                 retx = self._retx_counts.get(seq, 0)
-            elif self._next_new_seq < self.n_pkts:
+            elif self._next_new_seq < n_pkts:
                 seq = self._next_new_seq
                 self._next_new_seq += 1
                 retx = 0
             else:
                 break
-            size = self._pkt_size(seq)
-            ev = self.lb.next_entropy(now)
-            pkt = Packet(self.src, self.dst, self.flow_id, seq, size, ev,
+            size = self._last_pkt_size if seq == n_pkts - 1 else mtu
+            ev = next_entropy(now)
+            pkt = Packet(src, dst, flow_id, seq, size, ev,
                          send_time=now, retx=retx)
-            self._outstanding[seq] = (now, size, ev, retx)
-            self._inflight_bytes += size
-            self.stats.pkts_sent += 1
+            outstanding[seq] = (now, size, ev, retx)
+            inflight += size
+            stats.pkts_sent += 1
             if retx:
-                self.stats.retransmissions += 1
-            self.host.send(pkt)
+                stats.retransmissions += 1
+            burst.append(pkt)
+        self._inflight_bytes = inflight
+        if burst:
+            # all same-instant: hand the window over in one batch
+            port = self.host.port
+            assert port is not None, "host not attached to a switch"
+            if len(burst) == 1:
+                port.enqueue(burst[0])
+            else:
+                port.enqueue_burst(burst)
         self._rearm_timer()
 
     # ------------------------------------------------------------------
@@ -194,15 +214,19 @@ class FlowSender:
         else:
             self.lb.on_ack(ack.ev, ack.ecn, now)
         acked_bytes = 0
+        acked = self._acked
+        outstanding = self._outstanding
+        last_seq = self.n_pkts - 1
+        mtu = self.mtu
         for seq in (ack.acked_seqs if ack.acked_seqs is not None
                     else (ack.seq,)):
-            if seq in self._acked:
+            if seq in acked:
                 continue
-            self._acked.add(seq)
-            entry = self._outstanding.pop(seq, None)
+            acked.add(seq)
+            entry = outstanding.pop(seq, None)
             if entry is not None:
                 self._inflight_bytes -= entry[1]
-            acked_bytes += self._pkt_size(seq)
+            acked_bytes += self._last_pkt_size if seq == last_seq else mtu
         if acked_bytes:
             self.cc.on_ack(acked_bytes, ack.ecn, now)
         if len(self._acked) == self.n_pkts:
@@ -262,13 +286,19 @@ class FlowSender:
             self._rearm_timer()
 
     def _rearm_timer(self) -> None:
-        if not self._outstanding:
+        outstanding = self._outstanding
+        if not outstanding:
             self._timer.cancel()
             return
-        deadline = min(t for t, _, _, _ in self._outstanding.values()) \
-            + self.rto_ps
-        if self._timer.deadline != deadline:
-            self._timer.arm_at(max(deadline, self.engine.now))
+        # the dict preserves insertion order and send times are monotone
+        # (entries re-inserted after a pop carry the current, larger,
+        # send time), so the first value holds the oldest send time —
+        # no O(n) min() scan per ACK
+        deadline = next(iter(outstanding.values()))[0] + self.rto_ps
+        timer = self._timer
+        if timer.deadline != deadline:
+            now = self.engine.now
+            timer.arm_at(deadline if deadline > now else now)
 
     def _complete(self, now: int) -> None:
         self.complete_time = now

@@ -158,3 +158,126 @@ class TestTimer:
         t.arm_at(33)
         assert t.deadline == 33
         assert t.armed
+
+    def test_deferred_rearm_fires_once_at_final_deadline(self, engine):
+        """Re-arming later keeps the queued shell; it must defer silently
+        at the old deadline and fire exactly once at the new one."""
+        hits = []
+        t = Timer(engine, lambda: hits.append(engine.now))
+        t.arm_at(10)
+        t.arm_at(30)  # shell at 10 stays queued, defers itself
+        engine.at(10, lambda: hits.append(("mid", engine.now, t.armed)))
+        engine.run()
+        assert hits == [("mid", 10, True), 30]
+
+    def test_cancel_then_rearm_revives_shell(self, engine):
+        hits = []
+        t = Timer(engine, lambda: hits.append(engine.now))
+        t.arm_at(10)
+        t.cancel()
+        t.arm_at(10)  # revives the cancelled shell in place
+        engine.run()
+        assert hits == [10]
+
+
+class TestWheelGeometry:
+    """The slotted wheel's horizon, overflow heap, and window jumps."""
+
+    def test_far_future_event_beyond_horizon(self, engine):
+        # the wheel window is ~134 us; 1 s lands in the overflow heap
+        seen = []
+        engine.at(10**12, lambda: seen.append(engine.now))
+        assert engine.pending() == 1
+        engine.run()
+        assert seen == [10**12]
+
+    def test_order_preserved_across_horizon(self, engine):
+        order = []
+        engine.at(10**12, order.append, "far")
+        engine.at(5, order.append, "near")
+        engine.at(10**12, order.append, "far2")
+        engine.run()
+        assert order == ["near", "far", "far2"]
+
+    def test_window_jumps_over_idle_gaps(self, engine):
+        # sparse events many windows apart: each drains after a jump
+        times = [0, 10**9, 7 * 10**9, 10**12]
+        seen = []
+        for t in times:
+            engine.at(t, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == times
+
+    def test_until_across_window_boundary(self, engine):
+        engine.at(10**9, lambda: None)
+        engine.run(until_ps=5 * 10**8)
+        assert engine.now == 5 * 10**8
+        assert engine.pending() == 1
+        engine.run()
+        assert engine.now == 10**9
+        assert engine.pending() == 0
+
+    def test_callback_schedules_far_then_near(self, engine):
+        seen = []
+
+        def first():
+            engine.at(engine.now + 10**10, lambda: seen.append("far"))
+            engine.at(engine.now + 1, lambda: seen.append("near"))
+
+        engine.at(0, first)
+        engine.run()
+        assert seen == ["near", "far"]
+
+
+class TestPendingAccounting:
+    """Regression: ``pending()`` counted cancelled Timer shells, so
+    queue-depth probes over-read under RTO-heavy runs.  ``pending()``
+    stays the physical queue depth; ``pending_live()`` excludes stale
+    shells."""
+
+    def test_cancelled_shell_counted_physical_not_live(self, engine):
+        t = Timer(engine, lambda: None)
+        t.arm_at(10)
+        t.cancel()
+        assert engine.pending() == 1      # the shell is still queued
+        assert engine.pending_live() == 0  # but represents nothing
+        engine.run()
+        assert engine.pending() == 0
+        assert engine.pending_live() == 0
+
+    def test_rearm_later_keeps_single_shell(self, engine):
+        t = Timer(engine, lambda: None)
+        t.arm_at(10)
+        for deadline in (20, 30, 40, 50):
+            t.arm_at(deadline)  # deferred, not re-pushed
+        assert engine.pending() == 1
+        assert engine.pending_live() == 1
+        engine.run()
+        assert engine.pending() == 0
+
+    def test_rearm_earlier_supersedes_shell(self, engine):
+        t = Timer(engine, lambda: None)
+        t.arm_at(100)
+        t.arm_at(50)  # earlier: must push a fresh shell
+        assert engine.pending() == 2
+        assert engine.pending_live() == 1
+        engine.run()
+        assert engine.pending() == 0
+        assert engine.pending_live() == 0
+
+    def test_cancel_rearm_storm_drains_clean(self, engine):
+        timers = [Timer(engine, lambda: None) for _ in range(32)]
+        for i, t in enumerate(timers):
+            t.arm_at(100 + i)
+            if i % 3 == 0:
+                t.cancel()
+            elif i % 3 == 1:
+                t.arm_at(10 + i)  # earlier: supersede
+            else:
+                t.arm_at(1000 + i)  # later: defer
+        live = sum(1 for t in timers if t.armed)
+        assert engine.pending_live() == live
+        assert engine.pending() >= live
+        engine.run()
+        assert engine.pending() == 0
+        assert engine.pending_live() == 0

@@ -1,0 +1,127 @@
+"""Golden event-trace determinism.
+
+Three small end-to-end scenarios — a symmetric spray, an incast with
+trimming, and an RTO run under a cable failure — are traced at every
+host's dispatch point and hashed.  The committed SHA-256 digests were
+captured from the pre-time-wheel binary-heap engine, so these tests pin
+the scheduler rewrite (and any future hot-path work) to **bit-identical
+event order**: same arrival times, same EV draws, same ECN marks, same
+ACK interleavings.
+
+Everything downstream rests on this — the sweep harness's content-keyed
+artifact cache, serial==parallel backend equivalence, and ``repro
+figures trend --strict`` against the committed campaign all assume the
+simulator is a pure function of its configuration.
+
+If a change *intends* to alter event order (a protocol or model change),
+recapture: each scenario's trace is printed on failure head-first, and
+the new digests belong in this file alongside a CHANGES.md note.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.topology import TopologyParams
+from repro.sim.units import us_to_ps
+
+#: digests captured from the seed engine (binary heap, eager timers)
+GOLDEN = {
+    "spray": ("e7c911f9ae9c7c58eb75eeafdc6c29b2"
+              "4013b600b622fbdfc24469a0095c0001", 256),
+    "trim": ("df15c17691fa9504c7ff9213260b1e98"
+             "efc3b0029c00af22f4ffa5bbb143f249", 103),
+    "rto": ("e3eafb6fe3682470b12ae7a0210d5cfc"
+            "ca7cfdcc204927e8d76167a60be624a7", 439),
+}
+
+
+def _traced(cfg):
+    """Wrap every host's dispatch to record each packet's arrival."""
+    net = Network(cfg)
+    trace = []
+    for host in net.tree.hosts:
+        inner = host.dispatch
+
+        def wrap(pkt, _inner=inner, _eng=net.engine):
+            kind = ("ack" if pkt.is_ack else "nack" if pkt.is_nack
+                    else "trim" if pkt.trimmed else "data")
+            trace.append((_eng.now, pkt.flow_id, pkt.seq, kind, pkt.ev,
+                          int(pkt.ecn)))
+            _inner(pkt)
+
+        host.dispatch = wrap
+    return net, trace
+
+
+def golden_spray():
+    cfg = NetworkConfig(
+        topo=TopologyParams(n_hosts=8, hosts_per_t0=4, link_gbps=100.0),
+        lb="reps", seed=7)
+    net, trace = _traced(cfg)
+    for s in range(8):
+        net.add_flow(s, (s + 4) % 8, 64 * 1024)
+    net.run(max_us=20_000.0)
+    return trace
+
+
+def golden_trim():
+    cfg = NetworkConfig(
+        topo=TopologyParams(n_hosts=8, hosts_per_t0=4, link_gbps=100.0,
+                            trim_enabled=True),
+        lb="ops", seed=11, ack_coalesce=4)
+    net, trace = _traced(cfg)
+    for s in range(1, 8):
+        net.add_flow(s, 0, 32 * 1024)
+    net.run(max_us=20_000.0)
+    return trace
+
+
+def golden_rto():
+    cfg = NetworkConfig(
+        topo=TopologyParams(n_hosts=8, hosts_per_t0=4, link_gbps=100.0),
+        lb="reps", seed=3, routing_update_delay_us=200.0)
+    net, trace = _traced(cfg)
+    net.failures.fail_cable(net.tree.t0_uplink_cables()[0],
+                            at_ps=us_to_ps(5.0))
+    for s in range(8):
+        net.add_flow(s, (s + 4) % 8, 96 * 1024)
+    net.run(max_us=50_000.0)
+    return trace
+
+
+_SCENARIOS = {"spray": golden_spray, "trim": golden_trim,
+              "rto": golden_rto}
+
+
+def _check(name):
+    trace = _SCENARIOS[name]()
+    digest = hashlib.sha256(repr(trace).encode()).hexdigest()
+    want_digest, want_n = GOLDEN[name]
+    assert len(trace) == want_n, (
+        f"{name}: trace length {len(trace)} != {want_n}; "
+        f"head={trace[:5]}")
+    assert digest == want_digest, (
+        f"{name}: event trace diverged from the golden capture "
+        f"(sha256 {digest}); the simulator is no longer bit-identical "
+        f"to the committed baseline.  head={trace[:5]} "
+        f"tail={trace[-5:]}")
+
+
+def test_golden_spray_trace():
+    _check("spray")
+
+
+def test_golden_trim_trace():
+    _check("trim")
+
+
+def test_golden_rto_trace():
+    _check("rto")
+
+
+def test_traces_are_reproducible_in_process():
+    """Two in-process runs of the same scenario are identical — no
+    hidden global state leaks between Network instances."""
+    assert golden_spray() == golden_spray()

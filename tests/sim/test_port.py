@@ -26,13 +26,16 @@ class Sink(Node):
 
 def make_port(engine, *, rate=400.0, capacity=64 * 1024,
               kmin=None, kmax=None, trim=False, ecn=True,
-              latency_ns=500, seed=1):
+              latency_ns=500, seed=1, ctrl_cap=None):
+    kwargs = {} if ctrl_cap is None else \
+        {"ctrl_capacity_bytes": ctrl_cap}
     port = EgressPort(
         engine, "p", rate_gbps=rate, latency_ps=latency_ns * NS,
         capacity_bytes=capacity,
         kmin_bytes=kmin if kmin is not None else capacity // 5,
         kmax_bytes=kmax if kmax is not None else capacity * 4 // 5,
         rng=random.Random(seed), ecn_enabled=ecn, trim_enabled=trim,
+        **kwargs,
     )
     sink = Sink()
     port.peer = sink
@@ -235,3 +238,65 @@ class TestControlPriority:
         port.enqueue(make_ack(dpkt(2)))
         assert port.queue_bytes == 4096
         assert port.total_queue_bytes == 4096 + CONTROL_PACKET_BYTES
+
+
+class TestControlQueueCapacity:
+    def test_acks_drop_when_control_queue_full(self, engine):
+        # room for exactly two queued 64 B control packets
+        port, sink, _ = make_port(engine,
+                                  ctrl_cap=2 * CONTROL_PACKET_BYTES)
+        for seq in range(5):  # 1 in service + 2 queued fit; rest drop
+            port.enqueue(make_ack(dpkt(seq=seq)))
+        engine.run()
+        assert port.stats.drops_overflow == 2
+        assert len(sink.received) == 3
+
+    def test_trimmed_header_respects_control_capacity(self, engine):
+        """Regression: trimmed headers were appended to the control
+        queue unconditionally, bypassing its capacity check — a full
+        control queue must drop the overflowing data packet instead."""
+        port, sink, _ = make_port(engine, capacity=8192, trim=True,
+                                  ctrl_cap=CONTROL_PACKET_BYTES)
+        for seq in range(5):
+            port.enqueue(dpkt(seq=seq))
+        engine.run()
+        # seq 0 in service, 1-2 queued; seq 3 trims into the one control
+        # slot; seq 4's header would overflow it -> dropped, not trimmed
+        assert port.stats.trims == 1
+        assert port.stats.drops_overflow == 1
+        assert sum(1 for p in sink.received if p.trimmed) == 1
+
+    def test_burst_matches_per_packet_decisions(self, engine):
+        """enqueue_burst must take the identical drop/trim decisions."""
+        a = make_port(engine, capacity=8192, trim=True,
+                      ctrl_cap=CONTROL_PACKET_BYTES)[0]
+        b = make_port(engine, capacity=8192, trim=True,
+                      ctrl_cap=CONTROL_PACKET_BYTES)[0]
+        for seq in range(5):
+            a.enqueue(dpkt(seq=seq))
+        b.enqueue_burst([dpkt(seq=seq) for seq in range(5)])
+        assert (a.stats.trims, a.stats.drops_overflow) == \
+            (b.stats.trims, b.stats.drops_overflow) == (1, 1)
+
+
+class TestDegenerateEcnThresholds:
+    def test_kmin_equal_kmax_is_hard_threshold(self, engine):
+        """Regression: ``kmin == kmax`` divided by zero in the linear
+        marking formula; it must act as a hard threshold instead."""
+        port, sink, _ = make_port(engine, capacity=100 * 4096,
+                                  kmin=2 * 4096, kmax=2 * 4096)
+        for seq in range(6):
+            port.enqueue(dpkt(seq=seq))
+        engine.run()
+        # occupancy at enqueue: 0, 0, 4096, 8192, 8192*... -> marks
+        # exactly when occupancy >= kmax, deterministically
+        marks = [p.ecn for p in sink.received]
+        assert marks == [False, False, False, True, True, True]
+
+    def test_kmin_above_kmax_rejected(self, engine):
+        with pytest.raises(ValueError, match="kmin"):
+            make_port(engine, kmin=4096, kmax=1024)
+
+    def test_negative_kmin_rejected(self, engine):
+        with pytest.raises(ValueError, match="kmin"):
+            make_port(engine, kmin=-1, kmax=1024)
