@@ -760,16 +760,39 @@ def _cmd_store(args: argparse.Namespace) -> int:
         return 0
     if args.store_command == "inspect":
         stats = store.stats()
+        fmt = stats["format"]
+        rows = [["keys", stats["keys"]],
+                ["segment records", stats["records"]],
+                ["shadowed duplicates", stats["duplicates"]],
+                ["segment blocks",
+                 f"{stats['blocks']} (v2: {fmt['v2_blocks']}, "
+                 f"v3: {fmt['v3_blocks']})"],
+                ["segment bytes", f"{stats['segment_bytes']:,}"],
+                ["legacy JSON artifacts", stats["legacy_json"]],
+                ["legacy JSON bytes", f"{stats['json_bytes']:,}"],
+                ["manifest entries", len(store.manifest())]]
+        if stats["tasks_timed"]:
+            rows.append(["timed tasks",
+                         f"{stats['tasks_timed']} "
+                         f"({stats['task_wall_s']:.1f}s wall, "
+                         f"{stats['task_bytes']:,} payload bytes)"])
         print(format_table(
-            f"store {args.root}", ["field", "value"],
-            [["keys", stats["keys"]],
-             ["segment records", stats["records"]],
-             ["shadowed duplicates", stats["duplicates"]],
-             ["segment blocks", stats["blocks"]],
-             ["segment bytes", f"{stats['segment_bytes']:,}"],
-             ["legacy JSON artifacts", stats["legacy_json"]],
-             ["legacy JSON bytes", f"{stats['json_bytes']:,}"],
-             ["manifest entries", len(store.manifest())]]))
+            f"store {args.root}", ["field", "value"], rows))
+        sections = {name: nbytes
+                    for name, nbytes in stats["sections"].items()
+                    if nbytes}
+        if sections:
+            print(format_table(
+                "compressed sections (header-only scan)",
+                ["section", "bytes"],
+                [[name, f"{sections[name]:,}"]
+                 for name in sorted(sections)]))
+        columns = stats["columns"]
+        if columns:
+            top = sorted(columns, key=lambda k: -columns[k])[:10]
+            print(format_table(
+                "top columns by encoded bytes", ["column", "bytes"],
+                [[name, f"{columns[name]:,}"] for name in top]))
         if stats["tail_dirty"]:
             print("[TORN] the segment has an unreadable tail — the "
                   "counts above cover only the readable prefix; run "

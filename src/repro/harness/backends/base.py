@@ -21,6 +21,7 @@ The contract every implementation must honour:
 
 from __future__ import annotations
 
+import json
 from abc import ABC, abstractmethod
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
@@ -49,10 +50,34 @@ class Backend(ABC):
         return f"<{type(self).__name__} name={self.name!r}>"
 
 
+def task_stats(payload: Dict[str, object],
+               wall_s: float) -> Dict[str, object]:
+    """Execution accounting for one finished task.
+
+    ``bytes`` is the canonical-JSON size of the payload — the same
+    serialization the store round-trips — so backends agree on it
+    regardless of how the artifact is later framed on disk.
+    """
+    return {
+        "wall_s": wall_s,
+        "bytes": len(json.dumps(payload, sort_keys=True).encode()),
+    }
+
+
 def emit(store, key: str, payload: Dict[str, object],
-         progress_cb: Optional[ProgressCb]) -> None:
-    """Shared per-task completion path: persist, then notify."""
+         progress_cb: Optional[ProgressCb],
+         stats: Optional[Dict[str, object]] = None) -> None:
+    """Shared per-task completion path: persist, then notify.
+
+    ``stats`` (from :func:`task_stats`) is forwarded to the store's
+    manifest accounting; it never touches the payload, so backend
+    byte-identity is unaffected.  Passed positionally-absent when
+    ``None`` so stores that predate the ``stats`` kwarg still work.
+    """
     if store is not None:
-        store.put(key, payload)
+        if stats is not None:
+            store.put(key, payload, stats=stats)
+        else:
+            store.put(key, payload)
     if progress_cb is not None:
         progress_cb(key, payload)

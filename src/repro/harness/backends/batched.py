@@ -11,18 +11,25 @@ This backend slices the pending list into interleaved batches (round
 robin, so naturally ordered slow/fast tasks spread across workers),
 executes each batch with a single worker dispatch, and persists each
 finished batch through :meth:`ResultStore.put_many` — one manifest
-read-merge-write per *batch* instead of per task.  Payloads are the
-same bytes ``execute_task`` always produces; only the orchestration
-and write batching differ.
+read-merge-write per *batch* instead of per task.  When the store's
+manifest carries recorded wall times, the pending list is first
+ordered longest-expected-first
+(:func:`~repro.harness.backends.schedule.longest_first`) so the round
+robin deals the expensive labels across batches *and* every batch
+fronts its own slowest tasks.  Payloads are the same bytes
+``execute_task`` always produces; only the orchestration and write
+batching differ.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 from typing import Dict, List, Optional, Tuple
 
 from ..sweep import SweepTask, execute_task
-from .base import Backend, Pending, ProgressCb
+from .base import Backend, Pending, ProgressCb, task_stats
+from .schedule import longest_first
 
 #: batches per worker when no explicit batch size is given — finer
 #: than one batch per worker so an unlucky batch of slow tasks cannot
@@ -31,8 +38,13 @@ _BATCHES_PER_WORKER = 4
 
 
 def _batch_entry(batch: List[Tuple[str, SweepTask]]
-                 ) -> List[Tuple[str, Dict[str, object]]]:
-    return [(key, execute_task(task)) for key, task in batch]
+                 ) -> List[Tuple[str, Dict[str, object], float]]:
+    out = []
+    for key, task in batch:
+        t0 = time.perf_counter()
+        payload = execute_task(task)
+        out.append((key, payload, time.perf_counter() - t0))
+    return out
 
 
 class BatchedBackend(Backend):
@@ -60,8 +72,11 @@ class BatchedBackend(Backend):
         payloads: Dict[str, Dict[str, object]] = {}
         for batch_result in finished:
             if store is not None:
-                store.put_many(batch_result)
-            for key, payload in batch_result:
+                store.put_many(
+                    [(key, payload) for key, payload, _ in batch_result],
+                    stats={key: task_stats(payload, wall)
+                           for key, payload, wall in batch_result})
+            for key, payload, _wall in batch_result:
                 payloads[key] = payload
                 if progress_cb is not None:
                     progress_cb(key, payload)
@@ -70,7 +85,7 @@ class BatchedBackend(Backend):
     def run(self, pending: Pending, store=None,
             progress_cb: Optional[ProgressCb] = None
             ) -> Dict[str, Dict[str, object]]:
-        pending = list(pending)
+        pending = longest_first(pending, store)
         if not pending:
             return {}
         batches = self._batches(pending)

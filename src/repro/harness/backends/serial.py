@@ -7,10 +7,11 @@ equivalence suite measures every other backend against.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional
 
 from ..sweep import execute_task
-from .base import Backend, Pending, ProgressCb, emit
+from .base import Backend, Pending, ProgressCb, emit, task_stats
 
 
 class SerialBackend(Backend):
@@ -23,7 +24,10 @@ class SerialBackend(Backend):
             ) -> Dict[str, Dict[str, object]]:
         payloads: Dict[str, Dict[str, object]] = {}
         for key, task in pending:
+            t0 = time.perf_counter()
             payload = execute_task(task)
+            wall = time.perf_counter() - t0
             payloads[key] = payload
-            emit(store, key, payload, progress_cb)
+            emit(store, key, payload, progress_cb,
+                 stats=task_stats(payload, wall))
         return payloads

@@ -39,6 +39,7 @@ from ..sweep import (
     task_key,
 )
 from .base import Backend, Pending, ProgressCb
+from .schedule import longest_first
 
 #: bump when the shard manifest layout changes
 SHARD_SCHEMA = 1
@@ -170,8 +171,13 @@ class ShardBackend(Backend):
                     os.path.join(tmp, f"shard-{index}"),
                     origin=outer_origin or
                     f"shard-{index}/{self.n_shards}")
+                # the scratch store has no wall-time history, so order
+                # each shard's slice by the caller's store instead —
+                # the single-host rehearsal of shards inheriting the
+                # planner host's accounting
                 payloads.update(inner.run(
-                    [(key, by_key[key]) for key in keys],
+                    longest_first([(key, by_key[key]) for key in keys],
+                                  store),
                     scratch, progress_cb))
                 if store is not None:
                     store.merge_from(scratch)

@@ -273,6 +273,14 @@ def run_campaign(specs: Iterable[FigureSpec], *, workers: int = 1,
         # the (possibly concurrent) figure runs just wrote, and persist
         # the repaired index
         store.repair_manifest()
+        if progress:
+            from ..report.provenance import store_throughput
+            thr = store_throughput(store)
+            if thr["tasks_timed"]:
+                print(f"store accounting: {thr['tasks_timed']} timed "
+                      f"task(s), {thr['task_wall_s']:.1f}s task wall "
+                      f"({thr['tasks_per_s']:.1f} tasks/s), "
+                      f"{thr['task_bytes']:,} payload bytes")
     return CampaignResult(outcomes, wall_s=time.monotonic() - start,
                           store=store, pruned=pruned,
                           backend=backend_name)

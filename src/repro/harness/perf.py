@@ -12,6 +12,14 @@ trend`` diffs a fresh capture against it.  Two kinds of scenario:
   rearm storms) that isolate the time-wheel and the recycled-shell
   :class:`~repro.sim.engine.Timer` from the packet pipeline.  Metric:
   driver units (events / simulated packets) per second.
+- **store** — campaign-store workloads on a synthetic model campaign
+  (populate, cold ``open``+``manifest()``, shard-style merge) that
+  track the :class:`~repro.harness.store.ColumnarStore` v3 fast path.
+  Metric: tasks per second; each record also carries informational
+  v2-vs-v3 comparison fields (``open_speedup_vs_v2``,
+  ``bytes_ratio``) measured in the same process — informational
+  because segment size depends on the host's zlib, not just the
+  simulator.
 
 The gate has two tiers.  The *deterministic* fields of a scenario
 (packet/event counts, completed flows, simulated time) are pure
@@ -24,16 +32,21 @@ so they get a relative tolerance band and are warn-only unless
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import random
+import tempfile
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..sim.engine import Engine, Timer
 from ..sim.network import Network, NetworkConfig
 from ..sim.topology import TopologyParams
 from ..sim.units import us_to_ps
-from .sweep import simulator_version
+from .store import ColumnarStore
+from .sweep import SCHEMA_VERSION, simulator_version
 
 SCHEMA = "repro/perf/v1"
 
@@ -164,6 +177,212 @@ def _run_timer_storm(scale: int) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# store scenarios (campaign store; metric = tasks / second)
+# ----------------------------------------------------------------------
+#: tasks per unit of store-scenario scale (scale 8 -> 50k tasks, the
+#: ISSUE's measurement point; CI smoke uses scale 1 -> 6250)
+_STORE_TASKS_PER_SCALE = 6_250
+
+#: put_many chunk size — matches a batched-backend campaign's store
+#: write pattern (and the store's own compaction block size)
+_STORE_CHUNK = 512
+
+
+def _store_records(n: int) -> Tuple[List[Tuple[str, dict]],
+                                    Dict[str, dict]]:
+    """A deterministic synthetic model campaign of ``n`` artifacts.
+
+    Shaped like the PR 5 benchmark's model campaign: a label matrix of
+    figures x lb policies x workloads (the repeated strings the v3
+    dictionary encoder targets), scalar metric results, and a
+    time-series section on every 8th artifact (the lazy-decode path).
+    Seeded ``random.Random`` keeps the bytes identical across runs, so
+    ``units`` is gate-exact while sizes stay comparable run to run.
+    """
+    rng = random.Random(0x5EED5)
+    lbs = ("reps", "reps_cc", "ops", "ecmp", "flowlet", "mprdma")
+    workloads = ("tornado", "permutation", "incast", "mixed", "model")
+    records: List[Tuple[str, dict]] = []
+    stats: Dict[str, dict] = {}
+    for i in range(n):
+        lb = lbs[i % len(lbs)]
+        wl = workloads[(i // len(lbs)) % len(workloads)]
+        fig = f"fig{(i // 40) % 24:02d}"
+        label = f"{fig}/{lb} {wl}/16384KiB 8h"
+        seed = i % 10
+        # the metrics block mirrors a real execute_task artifact: a
+        # per-flow FCT list (ps-grid values, 5 exact decimals), full-
+        # precision goodput floats, event/packet counters, and the
+        # many usually-zero drop/retransmit counters
+        n_flows = 8
+        makespan = round(rng.uniform(300.0, 5000.0), 5)
+        # flows in a synchronized pattern finish together: per-flow
+        # FCTs sit within a few us of the makespan, per-flow goodputs
+        # within ~1% of each other (the balanced-fabric case the
+        # paper's load balancer exists to produce)
+        fcts = sorted(round(makespan - rng.uniform(0.0, 4.0), 5)
+                      for _ in range(n_flows))
+        fcts[-1] = makespan
+        goodput_base = rng.uniform(5.0, 380.0)
+        goodputs = [goodput_base * rng.uniform(0.99, 1.01)
+                    for _ in range(n_flows)]
+        failure_run = (i % 16 == 5)
+        payload: dict = {
+            "schema": SCHEMA_VERSION,
+            "sim": "perfbench0",
+            "key": hashlib.sha256(f"short/{i}".encode()).hexdigest()[:24],
+            "task": {"label": label, "seed": seed, "kind": "bench",
+                     "lb": lb, "workload": wl, "mib": 16.0},
+            "metrics": {
+                "fct_us": fcts,
+                "flows_total": n_flows,
+                "flows_completed": n_flows,
+                "makespan_us": makespan,
+                "sim_time_us": makespan,
+                "drops_overflow": rng.randrange(40) if failure_run else 0,
+                "drops_link_down": rng.randrange(9) if failure_run else 0,
+                "drops_ber": 0,
+                "trims": rng.randrange(2000) if failure_run else 0,
+                "ecn_marks": rng.randrange(5_000),
+                "pkts_sent": rng.randrange(30_000, 2_000_000),
+                "retransmissions": rng.randrange(30) if failure_run else 0,
+                "timeouts": 0,
+                "events": rng.randrange(400_000, 30_000_000),
+                "max_fct_us": makespan,
+                "avg_fct_us": round(sum(fcts) / n_flows, 5),
+                "p50_fct_us": fcts[n_flows // 2],
+                "p99_fct_us": makespan,
+                "total_drops": 0,
+                "goodput_gbps": goodputs,
+                "avg_goodput_gbps": sum(goodputs) / n_flows,
+            },
+            "extra": {
+                "steady_queue_kb": round(rng.uniform(0.0, 600.0), 1),
+                "util_spread_gbps": rng.uniform(0.0, 90.0),
+                "kmin_kb": round(rng.uniform(10.0, 100.0), 3),
+            },
+        }
+        if i % 8 == 0:
+            # windowed probes are *correlated* walks, not white noise
+            # — goodput ramps, queues drain — which is what the v3
+            # delta-varint array packing exploits
+            g = rng.uniform(50.0, 350.0)
+            q = rng.randrange(1 << 16)
+            goodput, queue = [], []
+            for _ in range(64):
+                g = min(400.0, max(0.0, g + rng.uniform(-20.0, 20.0)))
+                q = max(0, q + rng.randrange(-4096, 4096))
+                goodput.append(round(g, 3))
+                queue.append(q)
+            payload["series"] = {
+                "goodput_series": goodput,
+                "queue_series": queue,
+                "t_us": [50 * j for j in range(64)],
+            }
+        key = hashlib.sha256(
+            f"perf-store/{label}/{seed}/{i}".encode()).hexdigest()
+        records.append((key, payload))
+        stats[key] = {"wall_s": round(rng.uniform(0.01, 2.0), 6),
+                      "bytes": rng.randrange(200, 20_000)}
+    return records, stats
+
+
+def _store_populate(root: str, records, stats,
+                    segment_format: int) -> float:
+    """Write ``records`` chunked as a batched campaign would; returns
+    the wall seconds spent."""
+    t0 = time.perf_counter()
+    st = ColumnarStore(root, segment_format=segment_format)
+    for i in range(0, len(records), _STORE_CHUNK):
+        chunk = records[i:i + _STORE_CHUNK]
+        st.put_many(chunk,
+                    stats={k: stats[k] for k, _ in chunk})
+    return time.perf_counter() - t0
+
+
+def _seg_bytes(root: str) -> int:
+    return os.path.getsize(os.path.join(root, "store.seg"))
+
+
+def _run_store_populate(scale: int) -> dict:
+    """Chunked ``put_many`` of the synthetic campaign, v3 vs v2."""
+    n = _STORE_TASKS_PER_SCALE * scale
+    records, stats = _store_records(n)
+    with tempfile.TemporaryDirectory(prefix="repro-perf-store-") as tmp:
+        wall = _store_populate(os.path.join(tmp, "v3"), records, stats, 3)
+        v2_wall = _store_populate(os.path.join(tmp, "v2"), records,
+                                  stats, 2)
+        nbytes = _seg_bytes(os.path.join(tmp, "v3"))
+        v2_bytes = _seg_bytes(os.path.join(tmp, "v2"))
+    return {
+        "kind": "store",
+        "units": n,
+        "wall_s": round(wall, 4),
+        "units_per_s": round(n / wall, 1),
+        "v2_wall_s": round(v2_wall, 4),
+        "bytes": nbytes,
+        "v2_bytes": v2_bytes,
+        "bytes_ratio": round(nbytes / v2_bytes, 4),
+    }
+
+
+def _run_store_cold_read(scale: int) -> dict:
+    """Cold ``open`` + ``manifest()`` — the every-campaign-start cost
+    the v3 meta-only frame scan exists for."""
+    n = _STORE_TASKS_PER_SCALE * scale
+    records, stats = _store_records(n)
+    with tempfile.TemporaryDirectory(prefix="repro-perf-store-") as tmp:
+        v3_root = os.path.join(tmp, "v3")
+        v2_root = os.path.join(tmp, "v2")
+        _store_populate(v3_root, records, stats, 3)
+        _store_populate(v2_root, records, stats, 2)
+
+        t0 = time.perf_counter()
+        st = ColumnarStore(v3_root)
+        manifest = st.manifest()
+        wall = time.perf_counter() - t0
+        assert len(manifest) == n
+
+        t0 = time.perf_counter()
+        st2 = ColumnarStore(v2_root)
+        manifest2 = st2.manifest()
+        v2_wall = time.perf_counter() - t0
+        assert len(manifest2) == n
+    return {
+        "kind": "store",
+        "units": n,
+        "wall_s": round(wall, 4),
+        "units_per_s": round(n / wall, 1),
+        "v2_wall_s": round(v2_wall, 4),
+        "open_speedup_vs_v2": round(v2_wall / wall, 2) if wall else 0.0,
+    }
+
+
+def _run_store_merge(scale: int) -> dict:
+    """Two half-campaign shard stores folded into one (`shard merge`)."""
+    n = _STORE_TASKS_PER_SCALE * scale
+    records, stats = _store_records(n)
+    half = n // 2
+    with tempfile.TemporaryDirectory(prefix="repro-perf-store-") as tmp:
+        a_root = os.path.join(tmp, "a")
+        b_root = os.path.join(tmp, "b")
+        _store_populate(a_root, records[:half], stats, 3)
+        _store_populate(b_root, records[half:], stats, 3)
+        t0 = time.perf_counter()
+        dest = ColumnarStore(os.path.join(tmp, "merged"))
+        dest.merge_from(ColumnarStore(a_root))
+        dest.merge_from(ColumnarStore(b_root))
+        wall = time.perf_counter() - t0
+        assert len(dest.manifest()) == n
+    return {
+        "kind": "store",
+        "units": n,
+        "wall_s": round(wall, 4),
+        "units_per_s": round(n / wall, 1),
+    }
+
+
 #: name -> runner(scale) for every perf scenario
 SCENARIOS: Dict[str, Callable[[int], dict]] = {
     "core_spray": lambda scale: _run_network(_net_core_spray, scale),
@@ -171,6 +390,9 @@ SCENARIOS: Dict[str, Callable[[int], dict]] = {
     "rto_failure": lambda scale: _run_network(_net_rto_failure, scale),
     "engine_chain": _run_event_chain,
     "engine_timer_storm": _run_timer_storm,
+    "store_populate": _run_store_populate,
+    "store_cold_read": _run_store_cold_read,
+    "store_merge": _run_store_merge,
 }
 
 
@@ -290,6 +512,16 @@ def render_record(record: dict) -> str:
                 f"  {name:<20} {sc['pkts_per_s']:>12,.0f} pkts/s "
                 f"{sc['events_per_s']:>14,.0f} ev/s "
                 f"(wall {sc['wall_s']:.3f}s)")
+        elif sc.get("kind") == "store":
+            extra = ""
+            if "open_speedup_vs_v2" in sc:
+                extra += f", x{sc['open_speedup_vs_v2']:.2f} vs v2"
+            if "bytes_ratio" in sc:
+                extra += (f", {sc['bytes_ratio']:.2f}x v2 size "
+                          f"({sc['bytes']:,}B)")
+            lines.append(
+                f"  {name:<20} {sc['units_per_s']:>12,.0f} tasks/s "
+                f"(wall {sc['wall_s']:.3f}s{extra})")
         else:
             lines.append(
                 f"  {name:<20} {sc['units_per_s']:>12,.0f} units/s "

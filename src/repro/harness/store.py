@@ -1,4 +1,5 @@
-"""Columnar campaign store (ResultStore v2): one segment file per store.
+"""Columnar campaign store (ResultStore v2/v3): one segment file per
+store.
 
 The JSON :class:`~repro.harness.sweep.ResultStore` pays one file open,
 parse and manifest merge per artifact — fine for a figure, painful for
@@ -8,21 +9,36 @@ module keeps the store *contract* (content-keyed ``get``/``put`` /
 storage with a single append-only **segment file**:
 
 - ``store.seg`` starts with an 8-byte file magic and is otherwise a
-  sequence of self-describing **blocks**: a fixed frame header (magic,
-  compressed length, CRC-32, record count) followed by a
-  zlib-compressed block body.
-- A block body holds a batch of artifacts split columnar-style: one
-  JSON header (content keys, the non-numeric remainder of every
-  payload, the column directory) plus **binary-packed numeric
-  columns** — scalar columns as tagged 8-byte ints/floats, array
-  columns (time-series probes) as length-prefixed packed vectors with
-  a per-element int/float bitmap.  The split is lossless: a decoded
-  payload is canonically identical (``json.dumps(..., sort_keys=True)``)
-  to what was stored.
+  sequence of self-describing **blocks**.  Two frame formats coexist
+  in one file and are always both readable; the store's
+  ``segment_format`` only selects what *new* frames are written as.
+- **v2 frames** (``BLK1``): a fixed header (magic, compressed length,
+  CRC-32, record count) + one zlib-compressed body — a JSON header
+  (content keys, the non-numeric remainder of every payload, the
+  column directory) plus **binary-packed numeric columns** — scalar
+  columns as tagged 8-byte ints/floats, array columns (time-series
+  probes) as length-prefixed packed vectors with a per-element
+  int/float bitmap.
+- **v3 frames** (``BLK2``, the default): the same columns split into
+  three *independently* zlib-compressed sections — **meta** (key
+  refs, per-block string table, column directory, frame-carried
+  manifest entries, section CRCs), **body** (JSON remainders + scalar
+  + dictionary-string columns) and **array** (the time-series
+  columns).  A cold open/``manifest()`` decompresses metas only; a
+  ``get`` decodes meta+body; the array section is decoded lazily,
+  only for records that actually carry arrays.  Repeated strings
+  (figure labels, lb policy / workload names, ``sim``/``key``/
+  ``origin``) are **dictionary-encoded** against a per-block sorted
+  string table and stored once.  Both splits are lossless: a decoded
+  payload is canonically identical (``json.dumps(...,
+  sort_keys=True)``) to what was stored.
+- Reads go through an **mmap view** of the segment (remapped when the
+  file grows or is replaced), falling back to buffered preads on
+  platforms without :mod:`mmap` or under ``REPRO_STORE_MMAP=0``.
 - The **key index** is in-memory only, rebuilt by scanning the frame
-  headers on open; a torn final block (crash mid-append) is detected
-  by CRC and dropped, and the next append truncates the torn tail
-  first, so the file self-heals without a repair tool.
+  headers/metas on open; a torn final block (crash mid-append) is
+  detected by CRC/length and dropped, and the next append truncates
+  the torn tail first, so the file self-heals without a repair tool.
 - **Manifest entries ride the frames.**  Each record carries its index
   entry (label, seed, sim, origin, timestamp) inside the block header,
   so a put is *one* append — no per-put read-merge-write of
@@ -64,6 +80,8 @@ forces the legacy format).
 
 from __future__ import annotations
 
+import base64
+import binascii
 import json
 import math
 import os
@@ -71,22 +89,57 @@ import struct
 import threading
 import time
 import zlib
+
+try:  # stdlib everywhere we run, but degrade to zlib-only if absent
+    import lzma
+except ImportError:  # pragma: no cover - platform without _lzma
+    lzma = None  # type: ignore[assignment]
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+try:  # advisory append locking — POSIX only, gated (see _flock)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
+
+try:  # zero-copy segment reads — gated (see _segment_view)
+    import mmap
+except ImportError:  # pragma: no cover - no-mmap platform
+    mmap = None
 
 from .sweep import SCHEMA_VERSION, ResultStore, simulator_version
 
 #: the store-format policy environment variable (see :func:`open_store`)
 STORE_ENV = "REPRO_STORE"
 
+#: set to ``0``/``off`` to force buffered reads instead of mmap
+MMAP_ENV = "REPRO_STORE_MMAP"
+
+#: set to ``0``/``off`` to skip the advisory inter-process append lock
+LOCK_ENV = "REPRO_STORE_LOCK"
+
 #: 8-byte file magic; the trailing digit is the segment format version
 FILE_MAGIC = b"REPSEG02"
 
-#: per-block frame magic
+#: file magic written by stores created at segment format 3
+FILE_MAGIC_V3 = b"REPSEG03"
+
+#: per-block frame magic (v2 frames)
 BLOCK_MAGIC = b"BLK1"
 
-#: frame header: magic, compressed length, CRC-32, record count
+#: per-block frame magic (v3 frames; may follow v2 frames in one file)
+BLOCK_MAGIC_V3 = b"BLK2"
+
+#: the segment format new blocks are written in by default
+SEGMENT_FORMAT = 3
+
+#: v2 frame header: magic, compressed length, CRC-32, record count
 _FRAME = struct.Struct("<4sIII")
+
+#: v3 frame header: magic, record count, meta length, meta CRC-32,
+#: body length, array length (section CRCs and raw sizes ride the meta)
+_FRAME3 = struct.Struct("<4sIIIII")
 
 #: records per block when compaction rewrites the file
 COMPACT_BLOCK_RECORDS = 512
@@ -281,17 +334,587 @@ def _frame_bytes(records: Sequence[Tuple[str, dict]],
                        len(records)) + comp
 
 
-def _walk_frames(fh, start: int):
+# ----------------------------------------------------------------------
+# v3 frames: dictionary-encoded strings, separately compressed sections
+# ----------------------------------------------------------------------
+# Sentinels for the string-table substitution inside JSON trees.  A
+# string present in the block's table is replaced by the two-element
+# list ``["\x00r", index]``; a *real* list whose first element is one
+# of the sentinel strings is wrapped as ``["\x00e", ...]`` so the
+# substitution stays lossless on adversarial payloads.
+_REF = "\x00r"
+_ESC = "\x00e"
+
+
+def _dict_pack(obj, index: Dict[str, int]):
+    if isinstance(obj, str):
+        ref = index.get(obj)
+        return obj if ref is None else [_REF, ref]
+    if isinstance(obj, list):
+        packed = [_dict_pack(v, index) for v in obj]
+        if obj and isinstance(obj[0], str) and obj[0] in (_REF, _ESC):
+            return [_ESC] + packed
+        return packed
+    if isinstance(obj, dict):
+        return {k: _dict_pack(v, index) for k, v in obj.items()}
+    return obj
+
+
+def _dict_unpack(obj, table: List[str]):
+    if isinstance(obj, list):
+        if obj and obj[0] == _REF:
+            return table[obj[1]]
+        if obj and obj[0] == _ESC:
+            return [_dict_unpack(v, table) for v in obj[1:]]
+        return [_dict_unpack(v, table) for v in obj]
+    if isinstance(obj, dict):
+        return {k: _dict_unpack(v, table) for k, v in obj.items()}
+    return obj
+
+
+def _count_strings(obj, counts: Dict[str, int]) -> None:
+    """Count every string *value* in a JSON tree (keys stay literal)."""
+    if isinstance(obj, str):
+        counts[obj] = counts.get(obj, 0) + 1
+    elif isinstance(obj, list):
+        for v in obj:
+            _count_strings(v, counts)
+    elif isinstance(obj, dict):
+        for v in obj.values():
+            _count_strings(v, counts)
+
+
+def _col_order(col: Tuple[str, Optional[str]]):
+    # ``None`` names (top-level payload fields) sort before nested ones
+    return (col[0], col[1] is not None, col[1] or "")
+
+
+def _col_key(sect: str, name: Optional[str], kind: str) -> str:
+    return (sect if name is None else f"{sect}.{name}") + f"|{kind}"
+
+
+def _set_field(payload: dict, sect: str, name: Optional[str],
+               value) -> None:
+    if name is None:
+        payload[sect] = value
+    else:
+        payload[sect][name] = value
+
+
+def _compress_v3(raw: bytes) -> bytes:
+    """The smaller of zlib-9 and LZMA for one v3 section.
+
+    The streams self-describe: ``zlib.compress`` output always leads
+    with ``0x78`` (deflate, 32K window) and ``FORMAT_ALONE`` LZMA with
+    its ``0x5d`` properties byte, so the reader dispatches on the
+    first byte.  LZMA's large dictionary wins on the structured
+    sections (string tables, manifest entries, varint columns); zlib
+    keeps the mostly-incompressible array noise cheap to round-trip.
+    """
+    z = zlib.compress(raw, 9)
+    if lzma is None:
+        return z
+    x = lzma.compress(raw, format=lzma.FORMAT_ALONE, preset=6)
+    return x if len(x) < len(z) else z
+
+
+def _decompress_v3(buf: bytes) -> bytes:
+    if buf[:1] == b"\x5d":
+        if lzma is None:  # pragma: no cover - see _compress_v3
+            raise ValueError("LZMA-compressed section but no lzma module")
+        return lzma.decompress(buf, format=lzma.FORMAT_ALONE)
+    return zlib.decompress(buf)
+
+
+# v3 scalar-column tag: a float stored exactly as a scaled decimal
+# integer (scale byte + zigzag varint) — the common rounded-metric
+# case packs in 2-5 bytes instead of an incompressible 8-byte double
+_T_FSCALED = 4
+
+#: largest decimal scale tried for exact float-as-scaled-int packing
+_MAX_FSCALE = 6
+
+
+def _uvarint(out: bytearray, v: int) -> None:
+    """LEB128 append (unsigned)."""
+    while v >= 0x80:
+        out.append((v & 0x7F) | 0x80)
+        v >>= 7
+    out.append(v)
+
+
+def _read_uvarint(buf, off: int) -> Tuple[int, int]:
+    v = shift = 0
+    while True:
+        b = buf[off]
+        off += 1
+        v |= (b & 0x7F) << shift
+        if not b & 0x80:
+            return v, off
+        shift += 7
+
+
+def _zigzag(v: int) -> int:
+    return (v << 1) if v >= 0 else ((-v << 1) - 1)
+
+
+def _unzigzag(z: int) -> int:
+    return (z >> 1) if not z & 1 else -((z + 1) >> 1)
+
+
+def _float_scale(value: float) -> Optional[Tuple[int, int]]:
+    """``(scale, scaled_int)`` when ``scaled_int / 10**scale`` round-
+    trips to ``value`` exactly; ``None`` for full-precision floats.
+
+    ``-0.0`` is excluded: it compares equal to the decoded ``0.0`` but
+    serializes differently, and canonical-JSON byte-identity is the
+    round-trip contract.
+    """
+    if value == 0.0 and math.copysign(1.0, value) < 0.0:
+        return None
+    for k in range(_MAX_FSCALE + 1):
+        m = 10 ** k
+        try:
+            r = round(value * m)
+        except (OverflowError, ValueError):  # pragma: no cover
+            return None
+        if r / m == value:
+            return k, r
+    return None
+
+
+def _scale_floats(elems: Sequence[float]
+                  ) -> Optional[Tuple[int, List[int]]]:
+    """One common decimal scale for a whole float array, or ``None``."""
+    if any(v == 0.0 and math.copysign(1.0, v) < 0.0 for v in elems):
+        return None
+    for k in range(_MAX_FSCALE + 1):
+        m = 10 ** k
+        scaled: List[int] = []
+        for v in elems:
+            try:
+                r = round(v * m)
+            except (OverflowError, ValueError):  # pragma: no cover
+                return None
+            if r / m != v:
+                break
+            scaled.append(r)
+        else:
+            return k, scaled
+    return None
+
+
+def _hex_key_blob(keys: Sequence[str]) -> Optional[Tuple[int, bytes]]:
+    """``(hex_len, packed_bytes)`` when every key is the same-length
+    lowercase-hex string (sha256 content keys), else ``None``.
+
+    Hex keys are pure entropy — zlib cannot shrink them — so packing
+    them binary halves their cost; the hexlify round-trip check makes
+    the transform lossless (uppercase or odd-length keys fall back).
+    """
+    if not keys:
+        return None
+    klen = len(keys[0])
+    if klen == 0 or klen % 2:
+        return None
+    parts = []
+    for k in keys:
+        if len(k) != klen:
+            return None
+        try:
+            raw = binascii.unhexlify(k)
+        except (binascii.Error, ValueError):
+            return None
+        if binascii.hexlify(raw).decode() != k:
+            return None
+        parts.append(raw)
+    return klen, b"".join(parts)
+
+
+def _meta_keys(n: int, meta: dict) -> List[str]:
+    """The record keys of a v3 frame, from either key encoding."""
+    if "kx" in meta:
+        klen, blob64 = meta["kx"]
+        raw = base64.b64decode(blob64.encode())
+        half = klen // 2
+        if half <= 0 or len(raw) != n * half:
+            raise ValueError("key blob length disagrees with meta")
+        return [binascii.hexlify(raw[i * half:(i + 1) * half]).decode()
+                for i in range(n)]
+    table = meta["t"]
+    keys = [table[i] for i in meta["k"]]
+    if len(keys) != n:
+        raise ValueError("record count disagrees with meta")
+    return keys
+
+
+# per-value array encodings inside a v3 array column
+_ARR_INT = 0      # delta + zigzag varints
+_ARR_SCALED = 1   # scale byte, then delta + zigzag varints of scaled
+_ARR_RAW = 2      # v2-style int/float bitmap + 8-byte values
+_ARR_SPLIT = 3    # full-precision floats, byte-stream-split planes
+
+
+def _pack_array_v3(buf: bytearray, elems: list) -> None:
+    """Append one array value: deltas of ints (monotonic timestamps,
+    correlated queue depths) and of exactly-scaled decimal floats
+    (rounded metric series) varint-pack to a byte or two per element;
+    anything else falls back to the v2 raw layout."""
+    if all(isinstance(e, int) for e in elems):
+        buf.append(_ARR_INT)
+        _uvarint(buf, len(elems))
+        prev = 0
+        for e in elems:
+            _uvarint(buf, _zigzag(e - prev))
+            prev = e
+        return
+    if all(isinstance(e, float) for e in elems):
+        scaled = _scale_floats(elems)
+        if scaled is not None:
+            k, ints = scaled
+            buf.append(_ARR_SCALED)
+            buf.append(k)
+            _uvarint(buf, len(ints))
+            prev = 0
+            for e in ints:
+                _uvarint(buf, _zigzag(e - prev))
+                prev = e
+            return
+        # full-precision floats: split the packed doubles into byte
+        # planes (all sign/exponent bytes together, then each
+        # mantissa byte position) — correlated values share their
+        # high bytes, turning them into zlib-friendly runs while the
+        # noise bytes stay put (Parquet's BYTE_STREAM_SPLIT)
+        buf.append(_ARR_SPLIT)
+        _uvarint(buf, len(elems))
+        packed = struct.pack(f"<{len(elems)}d", *elems)
+        for plane in range(7, -1, -1):
+            buf += packed[plane::8]
+        return
+    buf.append(_ARR_RAW)
+    _uvarint(buf, len(elems))
+    bitmap = bytearray((len(elems) + 7) // 8)
+    for j, e in enumerate(elems):
+        if isinstance(e, int):
+            bitmap[j // 8] |= 1 << (j % 8)
+    buf += bitmap
+    for e in elems:
+        buf += struct.pack("<q" if isinstance(e, int) else "<d", e)
+
+
+def _unpack_array_v3(buf, off: int) -> Tuple[list, int]:
+    """Inverse of :func:`_pack_array_v3`; returns ``(elems, offset)``."""
+    kind = buf[off]
+    off += 1
+    if kind == _ARR_INT or kind == _ARR_SCALED:
+        m = 1
+        if kind == _ARR_SCALED:
+            m = 10 ** buf[off]
+            off += 1
+        count, off = _read_uvarint(buf, off)
+        elems: list = []
+        prev = 0
+        for _ in range(count):
+            z, off = _read_uvarint(buf, off)
+            prev += _unzigzag(z)
+            elems.append(prev if kind == _ARR_INT else prev / m)
+        return elems, off
+    if kind == _ARR_SPLIT:
+        count, off = _read_uvarint(buf, off)
+        planes = bytes(buf[off:off + 8 * count])
+        if len(planes) != 8 * count:
+            raise ValueError("truncated byte-split float array")
+        off += 8 * count
+        raw = bytearray(8 * count)
+        for j, plane in enumerate(range(7, -1, -1)):
+            raw[plane::8] = planes[j * count:(j + 1) * count]
+        return list(struct.unpack(f"<{count}d", bytes(raw))), off
+    if kind != _ARR_RAW:
+        raise ValueError(f"bad array encoding tag {kind}")
+    count, off = _read_uvarint(buf, off)
+    bitmap = buf[off:off + (count + 7) // 8]
+    off += len(bitmap)
+    elems = []
+    for j in range(count):
+        is_int = bitmap[j // 8] >> (j % 8) & 1
+        (e,) = struct.unpack_from("<q" if is_int else "<d", buf, off)
+        off += 8
+        elems.append(e)
+    return elems, off
+
+
+def encode_frame_v3(records: Sequence[Tuple[str, dict]],
+                    entries: Optional[Sequence[Optional[dict]]] = None
+                    ) -> Tuple[bytes, Dict[str, object]]:
+    """One complete v3 frame for ``records``; returns ``(frame, info)``.
+
+    Layout: ``_FRAME3`` header + three independently zlib-compressed
+    sections —
+
+    - **meta**: the key refs, the per-block string table, the column
+      directory, the frame-carried manifest entries, the array-bearing
+      slot list and the body/array section CRCs.  Everything the index
+      rebuild and ``manifest()`` need, and nothing else: a cold open
+      decompresses *only* this section.
+    - **body**: the packed JSON remainders plus the scalar (``s``) and
+      dictionary-string (``d``) columns — what a ``get`` of a scalar
+      payload decodes.
+    - **array**: the numeric array columns (``a``, time-series
+      probes), decoded lazily only when a requested record carries
+      arrays.
+
+    Strings are dictionary-encoded against a per-block sorted table:
+    content keys, every ``d``-column value (figure labels, lb policy /
+    workload strings, ``sim``/``key``/``origin`` fields) and any
+    string repeated in the remainders or entries is stored once and
+    referenced by integer.  ``info`` is the compression breakdown that
+    feeds :meth:`ColumnarStore.stats`.
+    """
+    n = len(records)
+    keys: List[str] = []
+    rests: List[dict] = []
+    scalars: Dict[Tuple[str, Optional[str]], Dict[int, object]] = {}
+    strs: Dict[Tuple[str, Optional[str]], Dict[int, str]] = {}
+    arrays: Dict[Tuple[str, Optional[str]], Dict[int, list]] = {}
+    for idx, (key, payload) in enumerate(records):
+        keys.append(key)
+        rest: dict = {}
+        for sect, val in payload.items():
+            if isinstance(val, dict):
+                rsect = {}
+                for name, v in val.items():
+                    if _scalar_tag(v) is not None:
+                        scalars.setdefault((sect, name), {})[idx] = v
+                    elif isinstance(v, str):
+                        strs.setdefault((sect, name), {})[idx] = v
+                    elif _is_numeric_array(v):
+                        arrays.setdefault((sect, name), {})[idx] = v
+                    else:
+                        rsect[name] = v
+                rest[sect] = rsect
+            elif isinstance(val, str):
+                strs.setdefault((sect, None), {})[idx] = val
+            elif _scalar_tag(val) is not None:
+                scalars.setdefault((sect, None), {})[idx] = val
+            else:
+                rest[sect] = val
+        rests.append(rest)
+
+    entry_list = list(entries) if entries is not None else [None] * n
+    counts: Dict[str, int] = {}
+    _count_strings(rests, counts)
+    _count_strings([e for e in entry_list if e is not None], counts)
+    # content keys are sha256 hex in practice — half-size as a packed
+    # binary blob ("kx"), and kept out of the string table entirely;
+    # arbitrary key strings fall back to table refs ("k")
+    key_blob = _hex_key_blob(keys)
+    table_set = set() if key_blob is not None else set(keys)
+    for col in strs.values():
+        table_set.update(col.values())
+    table_set.update(s for s, c in counts.items() if c >= 2)
+    table = sorted(table_set)
+    index = {s: i for i, s in enumerate(table)}
+
+    cols: List[List[object]] = []
+    col_bytes: List[int] = []
+    body = bytearray()
+    rest_json = json.dumps(_dict_pack(rests, index),
+                           separators=(",", ":")).encode()
+    body += struct.pack("<I", len(rest_json)) + rest_json
+    for sect, name in sorted(scalars, key=_col_order):
+        cols.append([sect, name, "s"])
+        values = scalars[(sect, name)]
+        tags = bytearray(n)
+        buf = bytearray()
+        for i in range(n):
+            if i not in values:
+                continue
+            v = values[i]
+            tags[i] = _scalar_tag(v)
+            if tags[i] == _T_INT:
+                _uvarint(buf, _zigzag(v))
+            elif tags[i] == _T_FLOAT:
+                scaled = _float_scale(v)
+                if scaled is not None:
+                    tags[i] = _T_FSCALED
+                    buf.append(scaled[0])
+                    _uvarint(buf, _zigzag(scaled[1]))
+                else:
+                    buf += struct.pack("<d", v)
+        col_bytes.append(n + len(buf))
+        body += tags + buf
+    for sect, name in sorted(strs, key=_col_order):
+        cols.append([sect, name, "d"])
+        values = strs[(sect, name)]
+        tags = bytearray(n)
+        buf = bytearray()
+        for i in range(n):
+            if i not in values:
+                continue
+            tags[i] = 1
+            _uvarint(buf, index[values[i]])
+        col_bytes.append(n + len(buf))
+        body += tags + buf
+
+    arr = bytearray()
+    ab: set = set()
+    for sect, name in sorted(arrays, key=_col_order):
+        cols.append([sect, name, "a"])
+        values = arrays[(sect, name)]
+        ab.update(values)
+        tags = bytearray(n)
+        buf = bytearray()
+        for i in range(n):
+            if i not in values:
+                continue
+            tags[i] = 1
+            _pack_array_v3(buf, values[i])
+        col_bytes.append(n + len(buf))
+        arr += tags + buf
+
+    body_b, arr_b = bytes(body), bytes(arr)
+    body_comp = _compress_v3(body_b)
+    arr_comp = _compress_v3(arr_b) if arr_b else b""
+    meta: Dict[str, object] = {
+        "t": table, "c": cols,
+        "cb": col_bytes, "ab": sorted(ab),
+        "bc": zlib.crc32(body_comp), "ac": zlib.crc32(arr_comp),
+        "bl": [len(body_b), len(arr_b)],
+    }
+    if key_blob is not None:
+        meta["kx"] = [key_blob[0],
+                      base64.b64encode(key_blob[1]).decode()]
+    else:
+        meta["k"] = [index[k] for k in keys]
+    if any(e is not None for e in entry_list):
+        meta["m"] = _dict_pack(entry_list, index)
+    meta_comp = _compress_v3(
+        json.dumps(meta, separators=(",", ":")).encode())
+    frame = _FRAME3.pack(BLOCK_MAGIC_V3, n, len(meta_comp),
+                         zlib.crc32(meta_comp), len(body_comp),
+                         len(arr_comp)) + meta_comp + body_comp + arr_comp
+    info = {
+        "version": 3, "records": n, "meta_comp": len(meta_comp),
+        "body_comp": len(body_comp), "array_comp": len(arr_comp),
+        "body_raw": len(body_b), "array_raw": len(arr_b),
+        "table": len(table),
+        "cols": {_col_key(s, nm, k): b
+                 for (s, nm, k), b in zip((tuple(c) for c in cols),
+                                          col_bytes)},
+    }
+    return frame, info
+
+
+def _decode_body_v3(n: int, meta: dict, body: bytes
+                    ) -> Tuple[List[Tuple[str, dict]],
+                               List[Optional[dict]]]:
+    """Records (sans array columns) + entries from a decompressed body."""
+    table = meta["t"]
+    keys = _meta_keys(n, meta)
+    (rlen,) = struct.unpack_from("<I", body, 0)
+    rests = _dict_unpack(json.loads(body[4:4 + rlen].decode()), table)
+    off = 4 + rlen
+    for sect, name, kind in meta["c"]:
+        if kind == "a":
+            continue
+        tags = body[off:off + n]
+        off += n
+        if kind == "s":
+            for i in range(n):
+                tag = tags[i]
+                if tag == _T_MISSING:
+                    continue
+                if tag == _T_NULL:
+                    v: object = None
+                elif tag == _T_INT:
+                    z, off = _read_uvarint(body, off)
+                    v = _unzigzag(z)
+                elif tag == _T_FSCALED:
+                    m = 10 ** body[off]
+                    z, off = _read_uvarint(body, off + 1)
+                    v = _unzigzag(z) / m
+                else:
+                    (v,) = struct.unpack_from("<d", body, off)
+                    off += 8
+                _set_field(rests[i], sect, name, v)
+        else:  # "d": refs into the block's string table
+            for i in range(n):
+                if not tags[i]:
+                    continue
+                ref, off = _read_uvarint(body, off)
+                _set_field(rests[i], sect, name, table[ref])
+    entries = _dict_unpack(meta["m"], table) if "m" in meta \
+        else [None] * n
+    return list(zip(keys, rests)), entries
+
+
+def _decode_arrays_v3(n: int, acols: Sequence[Sequence[object]],
+                      arr: bytes,
+                      records: List[Tuple[str, dict]]) -> None:
+    """Apply the array section's columns onto decoded ``records``."""
+    off = 0
+    for sect, name, _kind in acols:
+        tags = arr[off:off + n]
+        off += n
+        for i in range(n):
+            if not tags[i]:
+                continue
+            elems, off = _unpack_array_v3(arr, off)
+            _set_field(records[i][1], sect, name, elems)
+
+
+def decode_frame_v3(buf: bytes, offset: int = 0
+                    ) -> Tuple[List[Tuple[str, dict]],
+                               List[Optional[dict]]]:
+    """Fully decode one v3 frame at ``offset`` (tests / audits)."""
+    head = buf[offset:offset + _FRAME3.size]
+    magic, n, mlen, mcrc, blen, alen = _FRAME3.unpack(head)
+    if magic != BLOCK_MAGIC_V3:
+        raise ValueError("not a v3 frame")
+    pos = offset + _FRAME3.size
+    meta_comp = buf[pos:pos + mlen]
+    if zlib.crc32(meta_comp) != mcrc:
+        raise ValueError("meta CRC mismatch")
+    meta = json.loads(_decompress_v3(meta_comp).decode())
+    body_comp = buf[pos + mlen:pos + mlen + blen]
+    if zlib.crc32(body_comp) != meta["bc"]:
+        raise ValueError("body CRC mismatch")
+    records, entries = _decode_body_v3(n, meta, _decompress_v3(body_comp))
+    if alen:
+        arr_comp = buf[pos + mlen + blen:pos + mlen + blen + alen]
+        if zlib.crc32(arr_comp) != meta["ac"]:
+            raise ValueError("array CRC mismatch")
+        acols = [c for c in meta["c"] if c[2] == "a"]
+        _decode_arrays_v3(n, acols, _decompress_v3(arr_comp), records)
+    return records, entries
+
+
+_DECODE_ERRORS = (ValueError, KeyError, IndexError, TypeError,
+                  struct.error, zlib.error) + \
+    ((lzma.LZMAError,) if lzma is not None else ())
+
+
+def _walk_frames(read, start: int, *, full: bool = True):
     """The one segment scanner: iterate events from ``start``.
 
-    Yields, in file order:
+    ``read(offset, n)`` returns up to ``n`` bytes at ``offset`` — an
+    mmap slice or a buffered pread; the scanner never holds a file
+    position.  Yields, in file order:
 
-    - ``("magic", offset)`` — a FILE_MAGIC marker.  Accepted anywhere,
-      not just at offset 0: two processes racing the very first append
-      can each prepend the magic, and treating it as an 8-byte skip
-      makes that interleaving lossless instead of data-destroying.
-    - ``("frame", offset, end, records, entries)`` — one complete,
-      CRC-valid, decoded block spanning ``[offset, end)``.
+    - ``("magic", offset)`` — a file-magic marker (v2 or v3).
+      Accepted anywhere, not just at offset 0: two lockless processes
+      racing the very first append can each prepend the magic, and
+      treating it as an 8-byte skip makes that interleaving lossless
+      instead of data-destroying.
+    - ``("frame", block)`` — one complete frame.  ``block`` is a dict:
+      ``version`` (2 or 3), ``offset``/``end``, ``keys``, ``entries``,
+      ``records`` (fully decoded payloads — always for v2; for v3 only
+      when ``full``, else ``None``), ``errors`` (section CRC/decode
+      failures, ``full`` mode only) and ``info`` (the stats
+      breakdown).  With ``full=False`` a v3 frame costs **one meta
+      decompression** — the body and array sections are never read;
+      their presence is length-checked so torn tails still stop the
+      scan.
     - ``("tail", offset, reason)`` — bytes from ``offset`` on are not
       a valid frame (torn write, corruption, not a segment file);
       scanning stops.
@@ -302,38 +925,107 @@ def _walk_frames(fh, start: int):
     never disagree about what is readable.
     """
     pos = start
-    fh.seek(pos)
     while True:
-        head = fh.read(_FRAME.size)
+        head = read(pos, _FRAME3.size)
         if not head:
             yield ("eof", pos)
             return
-        if head[:len(FILE_MAGIC)] == FILE_MAGIC:
+        if head[:len(FILE_MAGIC)] in (FILE_MAGIC, FILE_MAGIC_V3):
             yield ("magic", pos)
             pos += len(FILE_MAGIC)
-            fh.seek(pos)
             continue
-        if len(head) < _FRAME.size:
-            yield ("tail", pos, "truncated frame header")
-            return
-        magic, comp_len, crc, _n_records = _FRAME.unpack(head)
-        if magic != BLOCK_MAGIC:
+        magic4 = head[:4]
+        if magic4 == BLOCK_MAGIC:
+            if len(head) < _FRAME.size:
+                yield ("tail", pos, "truncated frame header")
+                return
+            _m, comp_len, crc, _n_records = \
+                _FRAME.unpack(head[:_FRAME.size])
+            comp = read(pos + _FRAME.size, comp_len)
+            if len(comp) < comp_len:
+                yield ("tail", pos, "truncated frame body")
+                return
+            if zlib.crc32(comp) != crc:
+                yield ("tail", pos, "CRC mismatch")
+                return
+            try:
+                records, entries = decode_block(zlib.decompress(comp))
+            except _DECODE_ERRORS as exc:
+                yield ("tail", pos, f"undecodable block ({exc})")
+                return
+            end = pos + _FRAME.size + comp_len
+            yield ("frame", {
+                "version": 2, "offset": pos, "end": end,
+                "keys": [k for k, _p in records], "entries": entries,
+                "records": records, "errors": [],
+                "info": {"version": 2, "records": len(records),
+                         "comp": comp_len}})
+            pos = end
+            continue
+        if magic4 != BLOCK_MAGIC_V3:
             yield ("tail", pos, "bad frame magic")
             return
-        comp = fh.read(comp_len)
-        if len(comp) < comp_len:
-            yield ("tail", pos, "truncated frame body")
+        if len(head) < _FRAME3.size:
+            yield ("tail", pos, "truncated frame header")
             return
-        if zlib.crc32(comp) != crc:
+        _m, n, mlen, mcrc, blen, alen = _FRAME3.unpack(head)
+        meta_comp = read(pos + _FRAME3.size, mlen)
+        if len(meta_comp) < mlen:
+            yield ("tail", pos, "truncated frame meta")
+            return
+        if zlib.crc32(meta_comp) != mcrc:
             yield ("tail", pos, "CRC mismatch")
             return
         try:
-            records, entries = decode_block(zlib.decompress(comp))
-        except (ValueError, KeyError, struct.error, zlib.error) as exc:
-            yield ("tail", pos, f"undecodable block ({exc})")
+            meta = json.loads(_decompress_v3(meta_comp).decode())
+            table = meta["t"]
+            keys = _meta_keys(n, meta)
+            entries = _dict_unpack(meta["m"], table) if "m" in meta \
+                else [None] * n
+        except _DECODE_ERRORS as exc:
+            yield ("tail", pos, f"undecodable block meta ({exc})")
             return
-        end = pos + _FRAME.size + comp_len
-        yield ("frame", pos, end, records, entries)
+        body_off = pos + _FRAME3.size + mlen
+        end = body_off + blen + alen
+        # the sections stay unread unless ``full`` — but a frame whose
+        # bytes never fully reached the disk is still a torn tail
+        if end > pos and len(read(end - 1, 1)) < 1:
+            yield ("tail", pos, "truncated frame body")
+            return
+        raw = meta.get("bl") or [0, 0]
+        blk: Dict[str, object] = {
+            "version": 3, "offset": pos, "end": end,
+            "keys": keys, "entries": entries, "records": None,
+            "errors": [],
+            "info": {"version": 3, "records": n, "meta_comp": mlen,
+                     "body_comp": blen, "array_comp": alen,
+                     "body_raw": raw[0], "array_raw": raw[1],
+                     "table": len(table),
+                     "cols": dict(zip(
+                         (_col_key(*c) for c in meta.get("c", [])),
+                         meta.get("cb", [])))},
+        }
+        if full:
+            body_comp = read(body_off, blen)
+            arr_comp = read(body_off + blen, alen)
+            errors = blk["errors"]
+            if zlib.crc32(body_comp) != meta.get("bc"):
+                errors.append("body CRC mismatch")
+            if alen and zlib.crc32(arr_comp) != meta.get("ac"):
+                errors.append("array CRC mismatch")
+            if not errors:
+                try:
+                    records, _e = _decode_body_v3(
+                        n, meta, _decompress_v3(body_comp))
+                    if alen:
+                        acols = [c for c in meta["c"] if c[2] == "a"]
+                        _decode_arrays_v3(n, acols,
+                                          _decompress_v3(arr_comp),
+                                          records)
+                    blk["records"] = records
+                except _DECODE_ERRORS as exc:
+                    errors.append(f"undecodable block body ({exc})")
+        yield ("frame", blk)
         pos = end
 
 
@@ -347,25 +1039,114 @@ class ColumnarStore(ResultStore):
     SEGMENT = "store.seg"
 
     def __init__(self, root: str, *, origin: Optional[str] = None,
-                 fresh: bool = False) -> None:
+                 fresh: bool = False,
+                 segment_format: Optional[int] = None) -> None:
         super().__init__(root, origin=origin, fresh=fresh)
+        fmt = SEGMENT_FORMAT if segment_format is None else segment_format
+        if fmt not in (2, 3):
+            raise ValueError(f"unknown segment format {fmt!r}")
+        #: the format *new* frames are written in; both are always read
+        self._format = fmt
         self._lock = threading.RLock()
         self._index: Dict[str, Tuple[int, int]] = {}  # key -> (off, slot)
         #: bounded LRU of decoded blocks — the index is complete, the
-        #: payload cache is not (misses re-load the block from disk)
-        self._blocks: "OrderedDict[int, List[Tuple[str, dict]]]" = \
-            OrderedDict()
+        #: payload cache is not (misses re-load the block from disk).
+        #: Each value is ``(records, pending_array_slots, array_cols)``
+        #: — ``pending_array_slots`` is the mutable set of slots whose
+        #: array columns are still undecoded (v3 lazy reads), ``None``
+        #: once applied or for blocks without arrays.
+        self._blocks: "OrderedDict[int, tuple]" = OrderedDict()
         self._entries: Dict[str, dict] = {}  # frame-carried manifest
         self._scanned = 0        # segment bytes validated and indexed
         self._records = 0        # raw record count incl. duplicates
         self._blocks_seen = 0    # frames indexed so far
         self._tail_dirty = False  # torn/garbage tail after _scanned
+        self._view = None        # mmap over the scanned segment
+        self._view_len = 0
+        # per-format/section/column accounting for stats() — folded
+        # from frame headers during the scan, never from block decodes
+        self._fmt_blocks = {2: 0, 3: 0}
+        self._sections = dict.fromkeys(
+            ("meta_comp", "body_comp", "array_comp", "body_raw",
+             "array_raw", "v2_comp", "table_strings"), 0)
+        self._col_bytes: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
-    # segment scanning
+    # segment access: mmap view with buffered fallback
     # ------------------------------------------------------------------
     def _segment_path(self) -> str:
         return os.path.join(self.root, self.SEGMENT)
+
+    def _file_magic(self) -> bytes:
+        return FILE_MAGIC_V3 if self._format >= 3 else FILE_MAGIC
+
+    def _drop_view(self) -> None:
+        if self._view is not None:
+            try:
+                self._view.close()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        self._view = None
+        self._view_len = 0
+
+    def _segment_view(self, size: int):
+        """An mmap over the segment's first ``size`` bytes, or ``None``.
+
+        Remapped when the file grew (append) or the size changed under
+        a replace (compact); ``REPRO_STORE_MMAP=0`` or a platform
+        without :mod:`mmap` degrades to buffered pread — same bytes,
+        one copy more per read.
+        """
+        if (mmap is None or size <= 0 or
+                os.environ.get(MMAP_ENV, "").strip().lower()
+                in ("0", "off", "no")):
+            self._drop_view()
+            return None
+        if self._view is not None and self._view_len == size:
+            return self._view
+        self._drop_view()
+        try:
+            fd = os.open(self._segment_path(), os.O_RDONLY)
+        except OSError:
+            return None
+        try:
+            self._view = mmap.mmap(fd, size, access=mmap.ACCESS_READ)
+            self._view_len = size
+        except (OSError, ValueError):  # pragma: no cover - map failure
+            self._view = None
+            self._view_len = 0
+        finally:
+            os.close(fd)
+        return self._view
+
+    @contextmanager
+    def _segment_reader(self):
+        """Yield ``read(off, n)`` for the current segment, or ``None``.
+
+        The mmap path slices the shared view (no file handle, no seek
+        syscalls); the fallback opens the file for the duration and
+        serves buffered preads.
+        """
+        try:
+            size = os.path.getsize(self._segment_path())
+        except OSError:
+            size = 0
+        view = self._segment_view(size) if size > 0 else None
+        if view is not None:
+            yield lambda off, n: view[off:off + n]
+            return
+        try:
+            fh = open(self._segment_path(), "rb")
+        except OSError:
+            yield None
+            return
+        try:
+            def read(off: int, n: int) -> bytes:
+                fh.seek(off)
+                return fh.read(n)
+            yield read
+        finally:
+            fh.close()
 
     def _reset(self) -> None:
         self._index.clear()
@@ -375,6 +1156,27 @@ class ColumnarStore(ResultStore):
         self._records = 0
         self._blocks_seen = 0
         self._tail_dirty = False
+        self._drop_view()
+        self._fmt_blocks = {2: 0, 3: 0}
+        for key in self._sections:
+            self._sections[key] = 0
+        self._col_bytes.clear()
+
+    def _fold_info(self, info: Dict[str, object]) -> None:
+        """Accumulate one frame's stats breakdown (scan or append)."""
+        self._fmt_blocks[info["version"]] = \
+            self._fmt_blocks.get(info["version"], 0) + 1
+        if info["version"] == 3:
+            s = self._sections
+            for field in ("meta_comp", "body_comp", "array_comp",
+                          "body_raw", "array_raw"):
+                s[field] += info.get(field, 0)
+            s["table_strings"] += info.get("table", 0)
+            for ckey, nbytes in (info.get("cols") or {}).items():
+                self._col_bytes[ckey] = \
+                    self._col_bytes.get(ckey, 0) + nbytes
+        else:
+            self._sections["v2_comp"] += info.get("comp", 0)
 
     def _refresh(self) -> None:
         """Index any segment bytes appended since the last scan.
@@ -395,53 +1197,113 @@ class ColumnarStore(ResultStore):
             self._reset()      # shrunk externally: rescan from scratch
         if size == self._scanned or self._tail_dirty:
             return
-        with open(path, "rb") as fh:
-            for event in _walk_frames(fh, self._scanned):
+        with self._segment_reader() as read:
+            if read is None:
+                return
+            for event in _walk_frames(read, self._scanned, full=False):
                 if event[0] == "magic":
                     self._scanned = event[1] + len(FILE_MAGIC)
                 elif event[0] == "frame":
-                    _kind, offset, end, records, entries = event
-                    self._cache_block(offset, records)
-                    for slot, (key, _payload) in enumerate(records):
-                        self._index[key] = (offset, slot)
+                    blk = event[1]
+                    if blk["version"] == 2:
+                        # v2 scans decode anyway (the keys live in the
+                        # block body) — keep the bytes we paid for
+                        self._cache_block(blk["offset"],
+                                          (blk["records"], None, ()))
+                    entries = blk["entries"]
+                    for slot, key in enumerate(blk["keys"]):
+                        self._index[key] = (blk["offset"], slot)
                         if entries[slot] is not None:
                             self._entries[key] = entries[slot]
-                    self._records += len(records)
+                    self._records += len(blk["keys"])
                     self._blocks_seen += 1
-                    self._scanned = end
+                    self._fold_info(blk["info"])
+                    self._scanned = blk["end"]
                 elif event[0] == "tail":
                     self._tail_dirty = True
                     return
                 # "eof": loop ends
 
-    def _cache_block(self, offset: int,
-                     records: List[Tuple[str, dict]]) -> None:
-        self._blocks[offset] = records
+    def _cache_block(self, offset: int, entry: tuple) -> None:
+        self._blocks[offset] = entry
         self._blocks.move_to_end(offset)
         while len(self._blocks) > BLOCK_CACHE_BLOCKS:
             self._blocks.popitem(last=False)
 
+    def _load_block(self, offset: int) -> Optional[tuple]:
+        """Decode the frame at ``offset`` for point reads.
+
+        v2 frames decode fully; v3 frames decode meta+body only —
+        ``(records, pending_array_slots, array_cols)`` — so a ``get``
+        of a scalar payload never unpacks the time-series arrays.
+        """
+        with self._segment_reader() as read:
+            if read is None:
+                return None
+            try:
+                magic4 = read(offset, 4)
+                if magic4 == BLOCK_MAGIC:
+                    head = read(offset, _FRAME.size)
+                    _m, comp_len, _crc, _n = _FRAME.unpack(head)
+                    comp = read(offset + _FRAME.size, comp_len)
+                    records, _e = decode_block(zlib.decompress(comp))
+                    return (records, None, ())
+                if magic4 == BLOCK_MAGIC_V3:
+                    head = read(offset, _FRAME3.size)
+                    _m, n, mlen, _mcrc, blen, _alen = \
+                        _FRAME3.unpack(head)
+                    meta = json.loads(_decompress_v3(
+                        read(offset + _FRAME3.size, mlen)).decode())
+                    body = _decompress_v3(
+                        read(offset + _FRAME3.size + mlen, blen))
+                    records, _e = _decode_body_v3(n, meta, body)
+                    pending = set(meta.get("ab") or ())
+                    acols = tuple(tuple(c) for c in meta["c"]
+                                  if c[2] == "a")
+                    return (records, pending or None, acols)
+            except (OSError,) + _DECODE_ERRORS:
+                return None
+        return None
+
+    def _apply_arrays(self, offset: int, records, pending: set,
+                      acols) -> bool:
+        """Decode the array section at ``offset`` into ``records``."""
+        with self._segment_reader() as read:
+            if read is None:
+                return False
+            try:
+                head = read(offset, _FRAME3.size)
+                _m, n, mlen, _mcrc, blen, alen = _FRAME3.unpack(head)
+                arr = _decompress_v3(
+                    read(offset + _FRAME3.size + mlen + blen, alen))
+                _decode_arrays_v3(n, acols, arr, records)
+            except (OSError,) + _DECODE_ERRORS:
+                return False
+        pending.clear()
+        return True
+
     def _record(self, key: str, loc: Tuple[int, int]) -> Optional[dict]:
         offset, slot = loc
-        records = self._blocks.get(offset)
-        if records is None:
-            try:
-                with open(self._segment_path(), "rb") as fh:
-                    fh.seek(offset)
-                    head = fh.read(_FRAME.size)
-                    magic, comp_len, crc, _n = _FRAME.unpack(head)
-                    comp = fh.read(comp_len)
-                records, _entries = decode_block(zlib.decompress(comp))
-            except (OSError, ValueError, struct.error, zlib.error):
+        entry = self._blocks.get(offset)
+        if entry is None:
+            entry = self._load_block(offset)
+            if entry is None:
                 return None
-            self._cache_block(offset, records)
+            self._cache_block(offset, entry)
         else:
             self._blocks.move_to_end(offset)
+        records, pending, acols = entry
         if slot >= len(records) or records[slot][0] != key:
             # stale index vs an externally rewritten file (compact in
             # another process): never serve some other key's payload
             # as a cache hit — a miss just re-executes the task
             return None
+        if pending and slot in pending:
+            # this record carries time-series arrays and they are
+            # still undecoded — pull in the array section now (once
+            # per block; the cache entry is patched in place)
+            if not self._apply_arrays(offset, records, pending, acols):
+                return None
         return records[slot][1]
 
     # ------------------------------------------------------------------
@@ -488,33 +1350,69 @@ class ColumnarStore(ResultStore):
     # ------------------------------------------------------------------
     # writes
     # ------------------------------------------------------------------
+    def _flock(self, fd: int) -> bool:
+        """Take the advisory inter-process append lock, if available.
+
+        Released implicitly when ``fd`` closes.  Returns False on
+        platforms without :mod:`fcntl`, under ``REPRO_STORE_LOCK=0``,
+        or if the lock call itself fails — appends then fall back to
+        the documented lockless semantics (O_APPEND keeps each frame
+        contiguous on Linux; concurrent writers may leave shadowed
+        duplicates and must not race a tail heal).
+        """
+        if fcntl is None or os.environ.get(
+                LOCK_ENV, "").strip().lower() in ("0", "off", "no"):
+            return False
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            return True
+        except OSError:  # pragma: no cover - e.g. locks unsupported fs
+            return False
+
+    def _encode_frame(self, records: Sequence[Tuple[str, dict]],
+                      entries: Sequence[Optional[dict]]
+                      ) -> Tuple[bytes, Dict[str, object]]:
+        if self._format >= 3:
+            return encode_frame_v3(records, entries)
+        frame = _frame_bytes(records, entries)
+        return frame, {"version": 2, "records": len(records),
+                       "comp": len(frame) - _FRAME.size}
+
     def _append_frame(self, records: Sequence[Tuple[str, dict]],
                       entries: Sequence[Optional[dict]]) -> None:
         """Append one block and register its records in the index."""
-        frame = _frame_bytes(records, entries)
+        frame, info = self._encode_frame(records, entries)
         path = self._segment_path()
-        if self._tail_dirty:
-            # the dirty flag may be stale two ways: another process
-            # healed this same tail and appended valid frames, or
-            # replaced the file entirely (compact can *grow* it, so
-            # the size<scanned reset never fires and a resumed scan
-            # lands mid-frame).  Either way, truncating on stale
-            # state destroys committed artifacts — re-validate the
-            # whole file from offset 0 first.
-            self._reset()
-            self._refresh()
-        if self._tail_dirty:
-            # genuinely torn: drop the garbage before appending over
-            # it — all the way to offset 0 when even the file magic
-            # never made it to disk (the append below re-creates it)
-            with open(path, "r+b") as fh:
-                fh.truncate(self._scanned)
-            self._tail_dirty = False
-        fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        fd = os.open(path, os.O_RDWR | os.O_APPEND | os.O_CREAT, 0o644)
         try:
+            # the advisory flock serializes whole appends (tail heal
+            # included) across processes; without it two writers
+            # converge the lockless way — shadowed duplicates, and a
+            # heal racing an append can drop the other's frame
+            self._flock(fd)
+            if self._tail_dirty:
+                # the dirty flag may be stale two ways: another
+                # process healed this same tail and appended valid
+                # frames, or replaced the file entirely (compact can
+                # *grow* it, so the size<scanned reset never fires and
+                # a resumed scan lands mid-frame).  Either way,
+                # truncating on stale state destroys committed
+                # artifacts — re-validate the whole file from offset 0
+                # first, under the lock
+                self._reset()
+                self._refresh()
+            if self._tail_dirty:
+                # genuinely torn: drop the garbage before appending
+                # over it — all the way to offset 0 when even the file
+                # magic never made it to disk (the append below
+                # re-creates it).  Unmap first: reads through a view
+                # spanning truncated pages would fault
+                self._drop_view()
+                os.ftruncate(fd, self._scanned)
+                self._tail_dirty = False
             data = frame
             if os.fstat(fd).st_size == 0:
-                data = FILE_MAGIC + frame
+                data = self._file_magic() + frame
             # loop on short writes (ENOSPC / RLIMIT_FSIZE can commit a
             # partial frame without raising): the index must never
             # report artifacts durable that are torn on disk
@@ -532,7 +1430,7 @@ class ColumnarStore(ResultStore):
             os.close(fd)
         offset = end - len(frame)
         cached = [(key, _json_copy(payload)) for key, payload in records]
-        self._cache_block(offset, cached)
+        self._cache_block(offset, (cached, None, ()))
         for slot, (key, _payload) in enumerate(cached):
             self._index[key] = (offset, slot)
             if entries[slot] is not None:
@@ -541,17 +1439,21 @@ class ColumnarStore(ResultStore):
             self._scanned = end
             self._records += len(cached)
             self._blocks_seen += 1
+            self._fold_info(info)
         # else: another process appended in between; _refresh picks the
         # gap (and this frame again) up from _scanned — idempotent
 
-    def put_many(self, items: Iterable[Tuple[str, dict]]) -> None:
+    def put_many(self, items: Iterable[Tuple[str, dict]], *,
+                 stats: Optional[Dict[str, dict]] = None) -> None:
         """Persist several artifacts as **one** segment append.
 
         The manifest entries travel inside the frame, so there is no
         per-call read-merge-write of ``manifest.json`` — the whole
         sweep costs O(batches) store I/O, and the on-disk index is
         materialized once by ``repair_manifest`` when a campaign
-        finishes.
+        finishes.  ``stats`` (key → per-task accounting, see
+        :meth:`~repro.harness.sweep.ResultStore.put_many`) rides the
+        frame-carried entries, never the payloads.
         """
         items = list(items)
         if not items:
@@ -562,8 +1464,9 @@ class ColumnarStore(ResultStore):
             now = time.time()
             self._append_frame(
                 items,
-                [self._manifest_entry(payload, now)
-                 for _key, payload in items])
+                [self._manifest_entry(payload, now,
+                                      (stats or {}).get(key))
+                 for key, payload in items])
 
     def merge_from(self, other: ResultStore) -> List[str]:
         """Fold ``other`` in as **one** appended block (vs one file
@@ -571,13 +1474,26 @@ class ColumnarStore(ResultStore):
         keys skip, stale schemas stay behind, manifest entries travel
         with their ``origin`` inside the frame."""
         other_manifest = other.manifest()
+        other_keys = other.keys()
+        if isinstance(other, ColumnarStore):
+            # stream the source in frame order, not sorted-key order:
+            # content keys shuffle records across blocks, so sorted
+            # point reads thrash the bounded block LRU and re-decode
+            # each block once per *record* (the 50k merge scenario
+            # measured ~17x slower that way); frame order decodes each
+            # source block once.  Legacy JSON keys sort after the
+            # segment (their location is per-file, order-free).
+            with other._lock:
+                locs = dict(other._index)
+            other_keys = sorted(
+                other_keys, key=lambda k: locs.get(k, (1 << 62, 0)))
         merged: List[str] = []
         records: List[Tuple[str, dict]] = []
         entries: List[Optional[dict]] = []
         with self._lock:
             self._refresh()
             json_present = set(self._json_keys())
-            for key in other.keys():
+            for key in other_keys:
                 if key in self._index or key in json_present:
                     continue
                 payload = other._read(key)
@@ -691,7 +1607,9 @@ class ColumnarStore(ResultStore):
             f".{os.getpid()}.{threading.get_ident()}.tmp"
         written: set = set()
         with open(tmp, "wb") as fh:
-            fh.write(FILE_MAGIC)
+            # compaction rewrites in the store's *write* format — the
+            # v2 → v3 migration path is one `repro store compact`
+            fh.write(self._file_magic())
             batch: List[Tuple[str, dict]] = []
             entries: List[Optional[dict]] = []
             for key in survivors:
@@ -702,10 +1620,11 @@ class ColumnarStore(ResultStore):
                 entries.append(entry_for.get(key))
                 written.add(key)
                 if len(batch) >= COMPACT_BLOCK_RECORDS:
-                    fh.write(_frame_bytes(batch, entries))
+                    fh.write(self._encode_frame(batch, entries)[0])
                     batch, entries = [], []
             if batch:
-                fh.write(_frame_bytes(batch, entries))
+                fh.write(self._encode_frame(batch, entries)[0])
+        self._drop_view()  # the view maps the file we just replaced
         os.replace(tmp, self._segment_path())
         # remove only the legacy JSON artifacts that are now in the
         # segment (absorbed or shadowed) or deliberately dropped — a
@@ -743,16 +1662,26 @@ class ColumnarStore(ResultStore):
             size = 0
         if size:
             with open(path, "rb") as fh:
-                # same scanner the reader uses: verify can never call
-                # readable what _refresh would refuse, or vice versa
-                for event in _walk_frames(fh, 0):
+                def read(off: int, n: int) -> bytes:
+                    fh.seek(off)
+                    return fh.read(n)
+                # same scanner the reader uses (full decode: every
+                # section CRC-checked): verify can never call readable
+                # what _refresh would refuse, or vice versa
+                for event in _walk_frames(read, 0, full=True):
                     if event[0] == "frame":
-                        _kind, _offset, _end, records, _entries = event
+                        blk = event[1]
                         report["blocks"] += 1
-                        for key, payload in records:
+                        for err in blk["errors"]:
+                            report["errors"].append(
+                                f"{err} at offset {blk['offset']}")
+                        records = blk["records"]
+                        for slot, key in enumerate(blk["keys"]):
                             report["records"] += 1
                             seen[key] = seen.get(key, 0) + 1
-                            embedded = payload.get("key")
+                            if records is None:
+                                continue
+                            embedded = records[slot][1].get("key")
                             if embedded is not None and embedded != key:
                                 report["key_mismatches"].append(key)
                     elif event[0] == "tail":
@@ -791,6 +1720,19 @@ class ColumnarStore(ResultStore):
                 json_bytes += os.path.getsize(self._path(key))
             except OSError:
                 pass
+        task_wall = 0.0
+        task_bytes = 0
+        timed = 0
+        for entry in self._entries.values():
+            wall = entry.get("wall_s")
+            if isinstance(wall, (int, float)) and \
+                    not isinstance(wall, bool):
+                task_wall += float(wall)
+                timed += 1
+            nbytes = entry.get("bytes")
+            if isinstance(nbytes, (int, float)) and \
+                    not isinstance(nbytes, bool):
+                task_bytes += int(nbytes)
         return {
             "segment_bytes": seg_bytes,
             "json_bytes": json_bytes,
@@ -805,10 +1747,28 @@ class ColumnarStore(ResultStore):
             # a torn/corrupt tail stops the scan, so the counts above
             # cover only the readable prefix — statistics must say so
             "tail_dirty": self._tail_dirty,
+            # header-only breakdown: every number below comes from the
+            # frame headers/metas the scan already paid for — stats()
+            # never decodes a block body through the LRU cache
+            "format": {"v2_blocks": self._fmt_blocks.get(2, 0),
+                       "v3_blocks": self._fmt_blocks.get(3, 0)},
+            "sections": dict(self._sections),
+            "columns": dict(self._col_bytes),
+            # recorded task accounting riding the manifest entries
+            "task_wall_s": round(task_wall, 6),
+            "task_bytes": task_bytes,
+            "tasks_timed": timed,
         }
 
     def stats(self) -> Dict[str, object]:
-        """Browsable store statistics (``repro store inspect``)."""
+        """Browsable store statistics (``repro store inspect``).
+
+        Cheap by construction on v3 segments: the refresh scan reads
+        frame headers and metas only (no body decompression, nothing
+        pushed through the block LRU), and the compression breakdown
+        (``sections``/``columns``/``format``) is folded from the
+        per-frame ``info`` the scanner already produced.
+        """
         with self._lock:
             self._refresh()
             return self._stats_locked()
@@ -826,7 +1786,11 @@ def open_store(root: str, *, origin: Optional[str] = None,
     kind = os.environ.get(STORE_ENV, "").strip().lower()
     if kind in ("json", "v1"):
         return ResultStore(root, origin=origin, fresh=fresh)
-    if kind in ("", "columnar", "v2"):
+    if kind in ("", "columnar", "v3"):
         return ColumnarStore(root, origin=origin, fresh=fresh)
+    if kind == "v2":
+        # pinned legacy segment format: reads everything, writes BLK1
+        return ColumnarStore(root, origin=origin, fresh=fresh,
+                             segment_format=2)
     raise ValueError(
         f"{STORE_ENV} must be 'json' or 'columnar', got {kind!r}")

@@ -477,7 +477,8 @@ class ResultStore:
             json.dump(doc, fh, sort_keys=True)
         os.replace(tmp, path)
 
-    def _manifest_entry(self, payload: dict, written_at: float) -> dict:
+    def _manifest_entry(self, payload: dict, written_at: float,
+                        stats: Optional[dict] = None) -> dict:
         entry = {
             "label": payload.get("task", {}).get("label", ""),
             "seed": payload.get("task", {}).get("seed"),
@@ -487,19 +488,33 @@ class ResultStore:
         }
         if self.origin:
             entry["origin"] = self.origin
+        # execution accounting rides the manifest entry, never the
+        # payload: content keys and byte-identity across backends must
+        # not depend on how long a task happened to take
+        if stats:
+            wall = stats.get("wall_s")
+            if isinstance(wall, (int, float)):
+                entry["wall_s"] = round(float(wall), 6)
+            nbytes = stats.get("bytes")
+            if isinstance(nbytes, int) and not isinstance(nbytes, bool):
+                entry["bytes"] = nbytes
         return entry
 
-    def put(self, key: str, payload: dict) -> None:
-        self.put_many([(key, payload)])
+    def put(self, key: str, payload: dict, *,
+            stats: Optional[dict] = None) -> None:
+        self.put_many([(key, payload)],
+                      stats={key: stats} if stats else None)
 
-    def put_many(self,
-                 items: Iterable[Tuple[str, dict]]) -> None:
+    def put_many(self, items: Iterable[Tuple[str, dict]], *,
+                 stats: Optional[Dict[str, dict]] = None) -> None:
         """Persist several artifacts with **one** manifest update.
 
         Each artifact write is individually atomic as in :meth:`put`;
         the read-merge-write of ``manifest.json`` happens once per
         call, which is what makes the batched backend's store I/O
-        O(batches) instead of O(tasks).
+        O(batches) instead of O(tasks).  ``stats`` optionally maps
+        keys to per-task execution accounting (``wall_s``/``bytes``)
+        recorded into the manifest entries.
         """
         items = list(items)
         if not items:
@@ -513,7 +528,8 @@ class ResultStore:
         manifest = self._read_index()
         now = time.time()
         for key, payload in items:
-            manifest[key] = self._manifest_entry(payload, now)
+            manifest[key] = self._manifest_entry(
+                payload, now, (stats or {}).get(key))
         self._write_json(os.path.join(self.root, self.MANIFEST), manifest)
 
     def merge_from(self, other: "ResultStore") -> List[str]:

@@ -19,7 +19,7 @@ from ..harness.ascii_charts import bar_chart, sparkline
 from ..harness.campaign import STATUSES, CampaignResult, FigureOutcome
 from ..harness.report import format_markdown_table
 from ..scenarios import figure_ids
-from .provenance import collect_provenance
+from .provenance import collect_provenance, store_throughput
 
 #: bump when the campaign.json layout changes
 REPORT_SCHEMA = 1
@@ -197,6 +197,14 @@ def render_reproduction(campaign: CampaignResult,
                       f"({len(campaign.store)} artifacts"
                       + (f", {len(campaign.pruned)} pruned"
                          if campaign.pruned else "") + ")")
+        # recorded execution accounting (manifest-carried wall times)
+        # — stated when present so the report shows what the adaptive
+        # scheduler had to work with
+        thr = store_throughput(campaign.store)
+        if thr["tasks_timed"]:
+            store_line += (f"; {thr['tasks_timed']} timed tasks, "
+                           f"{thr['task_wall_s']:.1f} s task wall, "
+                           f"{thr['tasks_per_s']:.1f} tasks/s")
     registered = len(figure_ids())
     if len(campaign) >= registered:
         scope = ("Every registered paper figure, reproduced by one "

@@ -208,6 +208,80 @@ class TestEquivalenceColumnar:
         assert json_snapshot == self.canon_snapshot(reference)
 
 
+class TestAdaptiveScheduling:
+    """ISSUE 7 acceptance: longest-expected-first dispatch is live on
+    every parallel backend once the store carries wall-time history —
+    and stays byte-identical to the serial reference."""
+
+    BACKENDS = TestEquivalence.BACKENDS
+    IDS = TestEquivalence.IDS
+
+    @staticmethod
+    def second_wave():
+        """Same labels as ``mixed_grid`` at fresh seeds: the warm
+        store's history applies, the keys still need executing."""
+        tasks = [make_task(lb, TINY_TOPO, TINY_WORKLOAD, seed=2,
+                           max_us=2_000_000.0) for lb in ("ops", "reps")]
+        tasks += [make_model_task("footprint", seed=2, buffer_size=b)
+                  for b in (1, 4, 8)]
+        return tasks
+
+    @pytest.fixture(scope="class")
+    def warm(self, tmp_path_factory):
+        """A store whose manifest carries recorded wall times."""
+        from repro.harness.store import ColumnarStore
+        store = ColumnarStore(str(tmp_path_factory.mktemp("warm")))
+        run_sweep(mixed_grid(), store=store, backend=SerialBackend())
+        return store
+
+    def test_execution_accounting_rides_the_manifest(self, warm):
+        entries = [warm.manifest()[task_key(t)] for t in mixed_grid()]
+        for entry in entries:
+            assert entry["wall_s"] >= 0
+            assert entry["bytes"] > 0
+        # accounting stays out of the payloads (byte-identity!)
+        for task in mixed_grid():
+            assert "wall_s" not in warm.get(task_key(task))
+
+    def test_scheduler_reorders_from_recorded_history(self, warm):
+        from repro.harness.backends.schedule import (
+            longest_first, task_label, wall_time_by_label)
+        by_label = wall_time_by_label(warm)
+        sims = [task_label(t) for t in mixed_grid() if t.lb != "model"]
+        assert all(label in by_label for label in sims)
+        pending = [(task_key(t), t) for t in self.second_wave()]
+        ordered = longest_first(pending, warm)
+        assert sorted(ordered) == sorted(pending)  # pure reordering
+        walls = [by_label.get(
+            task_label(t), sum(by_label.values()) / len(by_label))
+            for _, t in ordered]
+        assert walls == sorted(walls, reverse=True)
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=IDS)
+    def test_warm_history_keeps_byte_identity(self, backend, tmp_path,
+                                              warm):
+        import shutil
+
+        from repro.harness.store import ColumnarStore
+        root = str(tmp_path / "store")
+        shutil.copytree(warm.root, root)
+        store = ColumnarStore(root)
+        results = run_sweep(self.second_wave(), store=store,
+                            backend=backend)
+        assert results.executed == len(self.second_wave())
+        snapshot = {r.key: json.dumps(store.get(r.key), sort_keys=True)
+                    for r in results}
+        # the serial run against the same warm history is the oracle
+        ref_root = str(tmp_path / "ref")
+        shutil.copytree(warm.root, ref_root)
+        ref_store = ColumnarStore(ref_root)
+        run_sweep(self.second_wave(), store=ref_store,
+                  backend=SerialBackend())
+        assert snapshot == {
+            key: json.dumps(ref_store.get(key), sort_keys=True)
+            for key in snapshot}
+
+
 class TestBatched:
     def test_batches_cover_and_interleave(self):
         backend = BatchedBackend(workers=2, batch_size=2)

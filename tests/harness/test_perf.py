@@ -59,7 +59,7 @@ class TestRunPerf:
         assert set(record["scenarios"]) == set(scenario_names())
         for sc in record["scenarios"].values():
             assert sc["wall_s"] > 0
-            assert sc["kind"] in ("network", "engine")
+            assert sc["kind"] in ("network", "engine", "store")
 
     def test_network_scenarios_complete_their_flows(self):
         for name in ("core_spray", "incast_trim", "rto_failure"):
