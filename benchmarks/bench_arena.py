@@ -1,0 +1,32 @@
+"""Cross-policy arena — RepFlow, PRIME and Sprinklers head-to-head.
+
+The paper plots REPS against OPS/ECMP-style baselines only; the arena
+(:mod:`repro.scenarios.arena`) re-targets a figure's canonical ``reps``
+cells onto the full head-to-head set, so every competitor faces exactly
+the scenario the paper measured REPS on.  This benchmark runs the
+arena variant of the Fig. 2 tornado micro — the smallest figure with a
+pivot cell — and asserts that every policy finished every cell.
+
+The full arena (`every` derivable figure × policy) runs through
+``repro figures run --all --policies reps,ecmp,repflow,prime,sprinklers``;
+this file keeps one timed, check-gated sample of it in the benchmark
+suite.
+"""
+
+from __future__ import annotations
+
+from _common import bench_report, bench_workers, _figure_store
+
+from repro.scenarios import DEFAULT_POLICIES, arena_spec, get_figure
+from repro.scenarios.registry import run_figure
+
+
+def test_arena_fig02(benchmark):
+    spec = arena_spec(get_figure("fig02"), DEFAULT_POLICIES)
+    assert spec is not None, "fig02 lost its reps pivot cell"
+    result = benchmark.pedantic(
+        lambda: run_figure(spec, workers=bench_workers(),
+                           store=_figure_store()),
+        rounds=1, iterations=1)
+    bench_report(result)
+    result.check()

@@ -209,6 +209,12 @@ def _build_parser() -> argparse.ArgumentParser:
     fr_p.add_argument("--strict", action="store_true",
                       help="campaign mode: exit non-zero on shape "
                            "divergence, not just on figure errors")
+    fr_p.add_argument("--policies", default=None, metavar="LBS",
+                      help="campaign mode: also run the cross-policy "
+                           "arena — each selected figure's canonical "
+                           "cells re-targeted onto these comma-"
+                           "separated LB policies (the first one is "
+                           "the pivot whose cells define each arena)")
     tr_p = fig_sub.add_parser(
         "trend", help="regression deltas between two campaign.json "
                       "records")
@@ -469,6 +475,24 @@ def _cmd_figures_campaign(args: argparse.Namespace, workers: int) -> int:
     if not specs:
         raise SystemExit("repro figures: the --only/--skip/--tag "
                          "filters selected no figures")
+    policies = _split_csv(args.policies)
+    if policies:
+        from .lb import available
+        from .scenarios import arena_specs
+
+        unknown = sorted(set(policies) - set(available()))
+        if unknown:
+            raise SystemExit(
+                f"repro figures: unknown polic"
+                f"{'y' if len(unknown) == 1 else 'ies'} "
+                f"{', '.join(unknown)} in --policies "
+                f"(registered: {', '.join(available())})")
+        arena = arena_specs(policies, bases=specs, pivot=policies[0])
+        if not arena:
+            raise SystemExit(
+                "repro figures: --policies derived no arena figures "
+                f"(no selected figure has {policies[0]!r} cells)")
+        specs = list(specs) + arena
     if args.no_cache:
         if args.prune_stale:
             raise SystemExit("repro figures: --prune-stale needs an "
@@ -569,6 +593,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         ("--figure-jobs", args.figure_jobs != 1),
         ("--prune-stale", args.prune_stale),
         ("--strict", args.strict),
+        ("--policies", args.policies is not None),
     ) if is_set]
     if ignored:
         raise SystemExit(

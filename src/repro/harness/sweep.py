@@ -73,7 +73,7 @@ import math
 import os
 import threading
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import (
     Dict,
     Iterable,
@@ -326,6 +326,22 @@ def make_task(lb: str, topo: Union[TopologyParams, Mapping[str, object]],
     return SweepTask(lb=lb, topo=_kv(topo), workload=workload,
                      seed=int(seed), scenario=_kv(scenario_kw),
                      failure=failure, probes=tuple(probes))
+
+
+def replace_lb(task: SweepTask, lb: str) -> SweepTask:
+    """The same fully specified task under a different sender policy.
+
+    The *policy axis* primitive behind the cross-policy arena
+    (``repro figures run --all --policies ...``): every other parameter
+    — topology, workload, seed, scenario, failure schedule, probes —
+    is kept bit-for-bit, so any difference between the two artifacts is
+    attributable to the load balancer alone.  Content keys differ (the
+    LB is part of the task identity), so both variants coexist in one
+    shared store.
+    """
+    if task.workload.kind == "model":
+        raise ValueError("model tasks have no load-balancer axis")
+    return replace(task, lb=lb)
 
 
 def make_model_task(pattern: str, *, seed: int,

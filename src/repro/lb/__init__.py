@@ -1,4 +1,5 @@
-"""Sender-side load balancers: REPS plus the Sec. 4.1 baseline suite.
+"""Sender-side load balancers: REPS plus the Sec. 4.1 baseline suite
+and the arena competitors (RepFlow, PRIME, Sprinklers).
 
 Importing this package registers every algorithm with the factory:
 
@@ -8,8 +9,11 @@ Importing this package registers every algorithm with the factory:
 """
 
 from .base import (
+    ORDERING_PROMISE_FOR_LB,
+    REPLICATION_FOR_LB,
     SWITCH_MODE_FOR_LB,
     LbContext,
+    ReplicationSpec,
     SenderLoadBalancer,
     available,
     make_lb,
@@ -20,6 +24,8 @@ from .flowlet import FlowletLb
 from .mprdma import MprdmaLb
 from .mptcp import MptcpLb
 from .plb import PlbLb
+from .prime import PrimeLb
+from .repflow import RepflowCopyLb
 from .simple import (
     AdaptiveRoceSenderLb,
     EcmpLb,
@@ -27,11 +33,14 @@ from .simple import (
     OpsLb,
     WcmpSenderLb,
 )
+from .sprinklers import SprinklersLb
 
 __all__ = [
     "LbContext", "SenderLoadBalancer", "SWITCH_MODE_FOR_LB",
+    "ORDERING_PROMISE_FOR_LB", "REPLICATION_FOR_LB", "ReplicationSpec",
     "available", "make_lb", "register",
     "BitmapLb", "FlowletLb", "MprdmaLb", "MptcpLb", "PlbLb",
+    "PrimeLb", "RepflowCopyLb", "SprinklersLb",
     "AdaptiveRoceSenderLb", "EcmpLb", "IdealSenderLb", "OpsLb",
     "WcmpSenderLb",
 ]

@@ -69,6 +69,40 @@ SWITCH_MODE_FOR_LB = {
 }
 
 
+@dataclass(frozen=True)
+class ReplicationSpec:
+    """Transport-level flow replication (RepFlow-style).
+
+    ``copies`` independent sender/receiver pairs carry the same logical
+    message; the first copy to finish defines the flow completion time
+    and the rest are cancelled.  ``max_bytes`` limits replication to
+    short flows (RepFlow replicates < 100 KB flows only — for long
+    flows the bandwidth tax outweighs the tail-latency win); larger
+    messages fall back to a single copy.
+    """
+
+    copies: int = 2
+    max_bytes: Optional[int] = 100 * 1024
+
+
+#: LB names whose flows the transport replicates.  Policy modules
+#: register themselves here at import time (see ``repflow.py``), and
+#: ``sim.network.Network.add_flow`` consults it per flow.
+REPLICATION_FOR_LB: Dict[str, ReplicationSpec] = {}
+
+#: Delivery-order promises the conformance suite holds policies to
+#: (``tests/lb/test_policy_conformance.py``).  Values:
+#:
+#: - ``"flow_fifo"``   — on a lossless fabric every packet of a flow
+#:   arrives in send order (single-path policies: ECMP, WCMP, and each
+#:   RepFlow copy),
+#: - ``"stripe_fifo"`` — packets sharing an entropy value arrive in
+#:   send order (Sprinklers: path changes only at stripe boundaries).
+#:
+#: Policies absent from this mapping promise nothing about ordering.
+ORDERING_PROMISE_FOR_LB: Dict[str, str] = {}
+
+
 def register(name: str) -> Callable[[LbFactory], LbFactory]:
     def deco(factory: LbFactory) -> LbFactory:
         if name in _REGISTRY:

@@ -6,7 +6,12 @@ Fig. 9 oracle spray randomly at the sender and let the switch decide.
 
 from __future__ import annotations
 
-from .base import LbContext, SenderLoadBalancer, register
+from .base import (
+    ORDERING_PROMISE_FOR_LB,
+    LbContext,
+    SenderLoadBalancer,
+    register,
+)
 
 
 @register("ecmp")
@@ -63,6 +68,12 @@ class WcmpSenderLb(EcmpLb):
     group by link rate (Sec. 4.3.2's known-asymmetry alternative)."""
 
     name = "wcmp"
+
+
+# one static EV = one path = one FIFO queue chain: on a lossless
+# fabric these deliver strictly in order (conformance-suite contract)
+ORDERING_PROMISE_FOR_LB["ecmp"] = "flow_fifo"
+ORDERING_PROMISE_FOR_LB["wcmp"] = "flow_fifo"
 
 
 def _make_reps_source(ctx):

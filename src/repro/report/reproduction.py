@@ -185,6 +185,82 @@ def _figure_section(outcome: FigureOutcome) -> str:
     return "\n".join(lines)
 
 
+def _arena_outcomes(campaign: CampaignResult) -> List[FigureOutcome]:
+    return [o for o in campaign if "arena" in o.spec.tags]
+
+
+def _arena_policies(campaign: CampaignResult) -> List[str]:
+    """The arena's policy set, in the order the run requested it
+    (read back from the first arena table — its rows are one per
+    policy, pivot first)."""
+    for outcome in _arena_outcomes(campaign):
+        table_doc, _ = _safe_table(outcome)
+        if table_doc is not None:
+            return [str(row[0]) for row in table_doc[1]]
+    return []
+
+
+def _arena_rollup(campaign: CampaignResult) -> List[str]:
+    """The cross-policy rollup: every arena figure's per-policy means
+    side by side, plus each policy's geometric-mean ratio vs the
+    pivot.  Empty when the campaign ran without ``--policies``."""
+    arena = _arena_outcomes(campaign)
+    policies = _arena_policies(campaign)
+    if not arena or not policies:
+        return []
+    pivot = policies[0]
+    rows = []
+    ratios: Dict[str, List[float]] = {p: [] for p in policies}
+    for outcome in arena:
+        table_doc, _ = _safe_table(outcome)
+        if table_doc is None:
+            continue
+        by_policy = {str(r[0]): r for r in table_doc[1]}
+        cells = []
+        for policy in policies:
+            row = by_policy.get(policy)
+            if row is None or not _is_number(row[1]) \
+                    or not math.isfinite(float(row[1])):
+                cells.append("—")
+                continue
+            mean, ratio = float(row[1]), float(row[2])
+            if policy == pivot:
+                cells.append(f"{mean:,.2f}")
+            elif math.isfinite(ratio):
+                cells.append(f"{mean:,.2f} ({ratio:.2f}×)")
+                ratios[policy].append(ratio)
+            else:
+                cells.append(f"{mean:,.2f}")
+        rows.append([f"[`{outcome.fig_id}`](#{_anchor(outcome)})",
+                     f"`{outcome.badge()}`", outcome.spec.metric]
+                    + cells)
+    geo = []
+    for policy in policies:
+        if policy == pivot:
+            geo.append("1.00×")
+        elif ratios[policy]:
+            logsum = sum(math.log(r) for r in ratios[policy]
+                         if r > 0)
+            geo.append(f"{math.exp(logsum / len(ratios[policy])):.2f}×")
+        else:
+            geo.append("—")
+    rows.append(["**geomean vs pivot**", "", ""] + geo)
+    return [
+        "## Cross-policy arena", "",
+        f"{len(arena)} figure(s) re-run head-to-head: each base "
+        f"figure's canonical `{pivot}` cells re-targeted onto "
+        f"{', '.join(f'`{p}`' for p in policies)} with every other "
+        "parameter unchanged (competitor horizons capped at 1 s "
+        "simulated; a policy still incomplete there scores DNF and "
+        "the figure fails).  Cells show the per-policy mean of the "
+        "figure's metric (ratio vs the pivot in parentheses; below "
+        "1× beats it on a lower-is-better metric).", "",
+        format_markdown_table(
+            ["figure", "status", "metric"] + policies, rows),
+        "",
+    ]
+
+
 def render_reproduction(campaign: CampaignResult,
                         provenance: Optional[Dict[str, object]] = None
                         ) -> str:
@@ -258,6 +334,7 @@ def render_reproduction(campaign: CampaignResult,
               round(o.wall_s, 1)] for o in campaign]),
         "",
     ]
+    head += _arena_rollup(campaign)
     sections = [_figure_section(outcome) for outcome in campaign]
     return "\n".join(head) + "\n" + "\n".join(sections)
 
@@ -325,6 +402,7 @@ def campaign_doc(campaign: CampaignResult,
             "executed": campaign.executed,
             "cached": campaign.cached,
             "distinct_seeds": _distinct_seeds(campaign),
+            "policies": _arena_policies(campaign),
             "wall_s": round(campaign.wall_s, 3),
             "pruned": len(campaign.pruned),
             "store": (campaign.store.root

@@ -29,7 +29,11 @@ from . import failures  # noqa: F401  (figs 7-11, 22)
 from . import sensitivity  # noqa: F401  (figs 12-16, 19, 21, 23 + ablations)
 from . import analytic  # noqa: F401  (figs 14, 17-18, 20, 24, table 1)
 
+# derived (not registered): cross-policy arena variants of the catalogue
+from .arena import DEFAULT_POLICIES, arena_spec, arena_specs  # noqa: E402
+
 __all__ = [
     "REGISTRY", "FigureSpec", "FigureResult", "TableDoc",
     "register", "get_figure", "figure_ids", "run_figure",
+    "DEFAULT_POLICIES", "arena_spec", "arena_specs",
 ]

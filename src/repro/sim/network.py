@@ -20,14 +20,19 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
 from ..core.reps import RepsConfig
-from ..lb.base import SWITCH_MODE_FOR_LB, LbContext, make_lb
+from ..lb.base import (
+    REPLICATION_FOR_LB,
+    SWITCH_MODE_FOR_LB,
+    LbContext,
+    make_lb,
+)
 from .cc.base import make_cc
 from .engine import Engine
 from .failures import FailureInjector
 from .metrics import RunMetrics, SeriesRecorder
 from .switch import Host
 from .topology import FatTree, TopologyParams
-from .transport import FlowReceiver, FlowSender
+from .transport import FlowReceiver, FlowSender, ReplicatedFlow
 from .units import US, us_to_ps
 
 
@@ -56,13 +61,17 @@ class NetworkConfig:
 
 
 class _FlowRecord:
-    __slots__ = ("sender", "receiver", "tag")
+    __slots__ = ("sender", "receiver", "tag", "replica_of")
 
     def __init__(self, sender: FlowSender, receiver: FlowReceiver,
-                 tag: Optional[str]) -> None:
+                 tag: Optional[str],
+                 replica_of: Optional[int] = None) -> None:
         self.sender = sender
         self.receiver = receiver
         self.tag = tag
+        #: primary flow id when this record is a RepFlow replica copy;
+        #: replica traffic counts in the metrics, its completion does not
+        self.replica_of = replica_of
 
 
 class Network:
@@ -105,64 +114,92 @@ class Network:
         on_complete: Optional[Callable[[FlowSender], None]] = None,
         tag: Optional[str] = None,
     ) -> int:
-        """Register a message flow; returns its flow id."""
+        """Register a message flow; returns its flow id.
+
+        A flow whose LB name appears in
+        :data:`~repro.lb.base.REPLICATION_FOR_LB` (and fits the spec's
+        size bound) is built as that many independent sender/receiver
+        copies under one :class:`~repro.sim.transport.ReplicatedFlow` —
+        first copy to finish wins, the rest are cancelled.  The
+        returned id is the primary copy's; replicas occupy their own
+        flow ids but count as zero additional logical flows.
+        """
         if src == dst:
             raise ValueError("src and dst must differ")
         if not (0 <= src < len(self.tree.hosts)
                 and 0 <= dst < len(self.tree.hosts)):
             raise ValueError("host id out of range")
         cfg = self.config
-        flow_id = self._next_flow_id
-        self._next_flow_id += 1
-        mtu = cfg.topo.mtu_bytes
-        bdp = self.tree.bdp_bytes()
-        cc_obj = make_cc(
-            cc or cfg.cc,
-            mtu=mtu,
-            init_cwnd=max(mtu, int(bdp * cfg.init_cwnd_bdp)),
-            min_cwnd=mtu,
-            max_cwnd=max(2 * mtu, int(bdp * cfg.max_cwnd_bdp)),
-            rtt_ps=self.tree.rtt_ps(),
-        )
-        rng = random.Random((cfg.seed * 1_000_003) ^ (flow_id * 7_919) ^ 0xA5)
-        ctx = LbContext(
-            rng=rng,
-            evs_size=cfg.evs_size,
-            rtt_ps=self.tree.rtt_ps(),
-            flow_id=flow_id,
-            src=src,
-            dst=dst,
-            cwnd_pkts=lambda c=cc_obj: c.cwnd_pkts,
-            reps_config=cfg.reps,
-        )
-        lb_obj = make_lb(lb or cfg.lb, ctx)
-        classifier = None
-        if cfg.rtt_loss_discrimination:
-            from .loss_discrimination import RttLossClassifier
-            classifier = RttLossClassifier(self.tree.rtt_ps())
-        delay_threshold = None
-        if cfg.delay_signal_factor is not None:
-            delay_threshold = int(cfg.delay_signal_factor
-                                  * self.tree.rtt_ps())
-        sender = FlowSender(
-            self.engine, self.tree.hosts[src],
-            flow_id=flow_id, dst=dst, size_bytes=size_bytes, mtu=mtu,
-            lb=lb_obj, cc=cc_obj, rto_ps=us_to_ps(cfg.rto_us),
-            on_complete=self._make_completion(on_complete),
-            loss_classifier=classifier,
-            delay_signal_threshold_ps=delay_threshold,
-        )
-        receiver = FlowReceiver(
-            self.engine, self.tree.hosts[dst],
-            flow_id=flow_id, src=src, n_pkts=sender.n_pkts,
-            coalesce=cfg.ack_coalesce, carry_evs=cfg.carry_evs,
-            ack_delay_ps=max(1, self.tree.rtt_ps() // 4),
-        )
-        self._flows[flow_id] = _FlowRecord(sender, receiver, tag)
+        lb_name = lb or cfg.lb
+        replication = REPLICATION_FOR_LB.get(lb_name)
+        n_copies = 1
+        if replication is not None and (replication.max_bytes is None
+                                        or size_bytes
+                                        <= replication.max_bytes):
+            n_copies = replication.copies
+        primary_id = self._next_flow_id
+        senders = []
+        for copy_idx in range(n_copies):
+            flow_id = self._next_flow_id
+            self._next_flow_id += 1
+            mtu = cfg.topo.mtu_bytes
+            bdp = self.tree.bdp_bytes()
+            cc_obj = make_cc(
+                cc or cfg.cc,
+                mtu=mtu,
+                init_cwnd=max(mtu, int(bdp * cfg.init_cwnd_bdp)),
+                min_cwnd=mtu,
+                max_cwnd=max(2 * mtu, int(bdp * cfg.max_cwnd_bdp)),
+                rtt_ps=self.tree.rtt_ps(),
+            )
+            rng = random.Random(
+                (cfg.seed * 1_000_003) ^ (flow_id * 7_919) ^ 0xA5)
+            ctx = LbContext(
+                rng=rng,
+                evs_size=cfg.evs_size,
+                rtt_ps=self.tree.rtt_ps(),
+                flow_id=flow_id,
+                src=src,
+                dst=dst,
+                cwnd_pkts=lambda c=cc_obj: c.cwnd_pkts,
+                reps_config=cfg.reps,
+            )
+            lb_obj = make_lb(lb_name, ctx)
+            classifier = None
+            if cfg.rtt_loss_discrimination:
+                from .loss_discrimination import RttLossClassifier
+                classifier = RttLossClassifier(self.tree.rtt_ps())
+            delay_threshold = None
+            if cfg.delay_signal_factor is not None:
+                delay_threshold = int(cfg.delay_signal_factor
+                                      * self.tree.rtt_ps())
+            sender = FlowSender(
+                self.engine, self.tree.hosts[src],
+                flow_id=flow_id, dst=dst, size_bytes=size_bytes, mtu=mtu,
+                lb=lb_obj, cc=cc_obj, rto_ps=us_to_ps(cfg.rto_us),
+                on_complete=(self._make_completion(on_complete)
+                             if n_copies == 1 else None),
+                loss_classifier=classifier,
+                delay_signal_threshold_ps=delay_threshold,
+            )
+            receiver = FlowReceiver(
+                self.engine, self.tree.hosts[dst],
+                flow_id=flow_id, src=src, n_pkts=sender.n_pkts,
+                coalesce=cfg.ack_coalesce, carry_evs=cfg.carry_evs,
+                ack_delay_ps=max(1, self.tree.rtt_ps() // 4),
+            )
+            self._flows[flow_id] = _FlowRecord(
+                sender, receiver, tag,
+                replica_of=None if copy_idx == 0 else primary_id)
+            senders.append(sender)
+        if n_copies > 1:
+            ReplicatedFlow(senders,
+                           on_complete=self._make_completion(on_complete))
         self._added += 1
         start_ps = max(self.engine.now, us_to_ps(start_us))
-        self.engine.at(start_ps, sender.start)
-        return flow_id
+        for sender in senders:
+            self.engine.at(start_ps, sender.start)
+        return primary_id
 
     def _make_completion(self, user_cb):
         def done(sender: FlowSender) -> None:
@@ -234,10 +271,15 @@ class Network:
             if tag is not None and rec.tag != tag:
                 continue
             s = rec.sender
-            m.flows_total += 1
             m.pkts_sent += s.stats.pkts_sent
             m.retransmissions += s.stats.retransmissions
             m.timeouts += s.stats.timeouts
+            if rec.replica_of is not None:
+                # a RepFlow replica copy: its traffic is real (counted
+                # above) but the logical flow's completion/FCT lives on
+                # the primary record
+                continue
+            m.flows_total += 1
             fct = s.fct_ps()
             if fct is not None:
                 m.flows_completed += 1

@@ -109,6 +109,8 @@ class FlowSender:
         self.stats = FlowStats()
         self.start_time: Optional[int] = None
         self.complete_time: Optional[int] = None
+        #: a RepFlow loser copy: transmission stopped without completing
+        self.cancelled = False
         #: optional Appendix-A RTT heuristic: timeouts classified as
         #: congestion losses are NOT reported to the LB as failures
         self.loss_classifier = loss_classifier
@@ -137,8 +139,18 @@ class FlowSender:
         self.start_time = self.engine.now
         self._try_send()
 
+    def cancel(self) -> None:
+        """Stop transmitting without completing (the losing copy of a
+        replicated flow).  Idempotent; late ACKs/NACKs for packets
+        still in flight are ignored from here on."""
+        if self.cancelled or self.done:
+            return
+        self.cancelled = True
+        self._timer.cancel()
+        self._retx_q.clear()
+
     def _try_send(self) -> None:
-        if self.complete_time is not None:
+        if self.complete_time is not None or self.cancelled:
             return
         now = self.engine.now
         retx_q = self._retx_q
@@ -188,7 +200,7 @@ class FlowSender:
     # ------------------------------------------------------------------
     def on_ack(self, ack: Packet) -> None:
         """Handle a (possibly coalesced) acknowledgement."""
-        if self.done:
+        if self.done or self.cancelled:
             return
         now = self.engine.now
         self.stats.acks_received += 1
@@ -236,7 +248,7 @@ class FlowSender:
 
     def on_nack(self, nack: Packet) -> None:
         """A switch trimmed this packet: fast congestion-loss recovery."""
-        if self.done:
+        if self.done or self.cancelled:
             return
         now = self.engine.now
         self.stats.nacks += 1
@@ -260,7 +272,7 @@ class FlowSender:
             self._retx_q.append(seq)
 
     def _on_timer(self) -> None:
-        if self.done:
+        if self.done or self.cancelled:
             return
         now = self.engine.now
         expired = [seq for seq, (t, _, _, _) in self._outstanding.items()
@@ -312,6 +324,48 @@ class FlowSender:
         if self.start_time is None or self.complete_time is None:
             return None
         return self.complete_time - self.start_time
+
+
+class ReplicatedFlow:
+    """First-finish-wins replication over independent copies (RepFlow).
+
+    Wraps ``copies`` fully independent :class:`FlowSender`\\ s carrying
+    the same logical message.  The first copy to complete defines the
+    logical flow completion time; every other copy is cancelled on the
+    spot so it stops competing for bandwidth.  The primary copy
+    (``copies[0]``) is stamped with the winner's completion time, so
+    metrics that read the primary record see exactly one FCT per
+    logical flow regardless of which copy won.
+    """
+
+    def __init__(self, copies: List[FlowSender],
+                 on_complete: Optional[
+                     Callable[[FlowSender], None]] = None) -> None:
+        if not copies:
+            raise ValueError("replicated flow needs at least one copy")
+        self.copies = list(copies)
+        self.on_complete = on_complete
+        self.winner: Optional[FlowSender] = None
+        for copy in self.copies:
+            copy.on_complete = self._copy_done
+
+    @property
+    def done(self) -> bool:
+        return self.winner is not None
+
+    def _copy_done(self, sender: FlowSender) -> None:
+        if self.winner is not None:
+            return
+        self.winner = sender
+        for copy in self.copies:
+            if copy is not sender:
+                copy.cancel()
+        primary = self.copies[0]
+        if primary is not sender:
+            # the logical flow completes when its fastest copy does
+            primary.complete_time = sender.complete_time
+        if self.on_complete is not None:
+            self.on_complete(sender)
 
 
 class FlowReceiver:

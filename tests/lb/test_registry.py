@@ -10,7 +10,8 @@ from repro.core.reps import RepsSender
 from repro.lb import LbContext, available, make_lb
 
 ALL_LBS = ["reps", "ops", "ecmp", "plb", "mprdma", "flowlet",
-           "mptcp", "bitmap", "adaptive_roce", "ideal"]
+           "mptcp", "bitmap", "adaptive_roce", "ideal",
+           "repflow", "prime", "sprinklers"]
 
 
 def ctx(seed=1, evs=65536) -> LbContext:

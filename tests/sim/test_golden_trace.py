@@ -34,6 +34,14 @@ GOLDEN = {
              "efc3b0029c00af22f4ffa5bbb143f249", 103),
     "rto": ("e3eafb6fe3682470b12ae7a0210d5cfc"
             "ca7cfdcc204927e8d76167a60be624a7", 439),
+    # the arena policies, captured at their introduction: any later
+    # change to their EV draws or replication plumbing must recapture
+    "repflow": ("c721fbe78b03092f33a6f6b280002751"
+                "667d51df3e4e549138d451df9c562246", 362),
+    "prime": ("444ff2e2f45bdce36be8217b725ebcd3"
+              "e0a8d479384e2c94627fb157eb75be7e", 256),
+    "sprinklers": ("9986c99c49c429e9939a927119b73b75"
+                   "041b22f48382bd52ec2824dc254ca5c3", 256),
 }
 
 
@@ -91,8 +99,34 @@ def golden_rto():
     return trace
 
 
+def _golden_policy(lb, seed, msg_bytes):
+    cfg = NetworkConfig(
+        topo=TopologyParams(n_hosts=8, hosts_per_t0=4, link_gbps=100.0),
+        lb=lb, seed=seed)
+    net, trace = _traced(cfg)
+    for s in range(8):
+        net.add_flow(s, (s + 4) % 8, msg_bytes)
+    net.run(max_us=20_000.0)
+    return trace
+
+
+def golden_repflow():
+    # 48 KiB < the RepFlow threshold: both copies of every flow are
+    # live, so the trace pins the replication machinery too
+    return _golden_policy("repflow", seed=13, msg_bytes=48 * 1024)
+
+
+def golden_prime():
+    return _golden_policy("prime", seed=17, msg_bytes=64 * 1024)
+
+
+def golden_sprinklers():
+    return _golden_policy("sprinklers", seed=19, msg_bytes=64 * 1024)
+
+
 _SCENARIOS = {"spray": golden_spray, "trim": golden_trim,
-              "rto": golden_rto}
+              "rto": golden_rto, "repflow": golden_repflow,
+              "prime": golden_prime, "sprinklers": golden_sprinklers}
 
 
 def _check(name):
@@ -119,6 +153,18 @@ def test_golden_trim_trace():
 
 def test_golden_rto_trace():
     _check("rto")
+
+
+def test_golden_repflow_trace():
+    _check("repflow")
+
+
+def test_golden_prime_trace():
+    _check("prime")
+
+
+def test_golden_sprinklers_trace():
+    _check("sprinklers")
 
 
 def test_traces_are_reproducible_in_process():
