@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Eight subcommands cover the common interactive uses:
+Nine subcommands cover the common interactive uses:
 
 - ``run``: one simulation (pattern x load balancer) with a metrics line,
 - ``compare``: the same workload under several load balancers,
@@ -14,6 +14,11 @@ Eight subcommands cover the common interactive uses:
 - ``shard``: scale a campaign out over hosts — ``plan`` deterministic
   shard manifests, ``run`` one shard anywhere against a local store,
   ``merge`` the shard stores back into one,
+- ``orchestrate``: the elastic whole-campaign version of ``shard`` —
+  plan wall-time-balanced shards, fan them out over local (or SSH)
+  workers with heartbeats, retry shards whose worker dies, merge each
+  shard as it lands, and render the same REPRODUCTION.md +
+  campaign.json a single-host run produces,
 - ``store``: artifact-store maintenance — ``compact`` a store into one
   columnar segment file (absorbing legacy one-JSON-per-task
   artifacts), ``inspect`` its statistics, ``verify`` its integrity,
@@ -41,6 +46,8 @@ Examples::
     python -m repro shard run plan/shard-0.json --store stores/shard-0
     python -m repro shard merge --into stores/merged/campaign \\
         stores/shard-0 stores/shard-1
+    python -m repro orchestrate --scale smoke --fan-out 4 \\
+        --results-dir /tmp/orch --html /tmp/orch/status.html
     python -m repro store compact benchmarks/results/sweeps/campaign
     python -m repro store verify benchmarks/results/sweeps/campaign
     python -m repro docs figures --check
@@ -51,6 +58,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 from typing import List, Optional
@@ -267,6 +275,84 @@ def _build_parser() -> argparse.ArgumentParser:
                            "run --all --results-dir <results-dir>` "
                            "finds it)")
 
+    orc_p = sub.add_parser(
+        "orchestrate",
+        help="elastic campaign: plan balanced shards, fan out "
+             "workers, retry dead shards, merge, report")
+    orc_p.add_argument("--only", default=None, metavar="IDS",
+                       help="comma-separated figure ids to keep")
+    orc_p.add_argument("--skip", default=None, metavar="IDS",
+                       help="comma-separated figure ids to drop")
+    orc_p.add_argument("--tag", default=None, metavar="TAGS",
+                       help="keep figures carrying any of these tags")
+    orc_p.add_argument("--scale", default=None,
+                       choices=("smoke", "quick", "full"),
+                       help="campaign scale (scoped to this command; "
+                            "the orchestrator's environment is "
+                            "restored afterwards)")
+    orc_p.add_argument("--policies", default=None, metavar="LBS",
+                       help="also run the cross-policy arena (same "
+                            "semantics as `figures run --all "
+                            "--policies`)")
+    orc_p.add_argument("--fan-out", type=int, default=2,
+                       help="concurrent worker slots (default 2; "
+                            "--runner ssh uses one slot per host)")
+    orc_p.add_argument("--shards", type=int, default=None,
+                       help="shards to plan (default 2x fan-out: the "
+                            "work-stealing margin)")
+    orc_p.add_argument("--shard-workers", type=int, default=1,
+                       help="sweep processes inside each worker")
+    orc_p.add_argument("--backend", default=None,
+                       choices=backend_names(),
+                       help="execution backend inside each worker")
+    orc_p.add_argument("--results-dir",
+                       default=os.path.join("benchmarks", "results",
+                                            "sweeps"),
+                       help="campaign store root (shards merge into "
+                            "<results-dir>/campaign)")
+    orc_p.add_argument("--work-dir", default=None,
+                       help="scratch root for manifests, shard "
+                            "stores, heartbeats and worker logs "
+                            "(default <results-dir>/orchestrate)")
+    orc_p.add_argument("--report", default="REPRODUCTION.md",
+                       help="markdown report path")
+    orc_p.add_argument("--json", dest="json_path",
+                       default="campaign.json",
+                       help="machine-readable record path")
+    orc_p.add_argument("--html", dest="html_path", default=None,
+                       help="live self-refreshing status page "
+                            "(rewritten on every state change)")
+    orc_p.add_argument("--heartbeat-timeout", type=float, default=60.0,
+                       help="seconds of worker silence before the "
+                            "shard is declared dead and reassigned")
+    orc_p.add_argument("--shard-deadline", type=float, default=None,
+                       help="hard per-attempt wall limit in seconds")
+    orc_p.add_argument("--max-retries", type=int, default=2,
+                       help="re-executions per shard after a worker "
+                            "death (default 2)")
+    orc_p.add_argument("--runner", default="local",
+                       choices=("local", "ssh"),
+                       help="worker transport: local process groups, "
+                            "or ssh to hosts sharing this filesystem")
+    orc_p.add_argument("--ssh-hosts", default=None, metavar="HOSTS",
+                       help="comma-separated hosts for --runner ssh "
+                            "(repeat a host to run more workers on "
+                            "it)")
+    orc_p.add_argument("--ssh-python", default="python3",
+                       help="python interpreter on the ssh hosts")
+    orc_p.add_argument("--fresh", action="store_true",
+                       help="ignore and overwrite cached task results")
+    orc_p.add_argument("--no-check", action="store_true",
+                       help="skip the paper-shape assertions")
+    orc_p.add_argument("--strict", action="store_true",
+                       help="exit non-zero on shape divergence, not "
+                            "just on figure errors")
+    orc_p.add_argument("--chaos-kill", type=int, default=0,
+                       metavar="N",
+                       help="failure drill: SIGKILL N live workers "
+                            "mid-shard and require the retry path to "
+                            "recover (fails if the drill never fires)")
+
     store_p = sub.add_parser(
         "store", help="artifact-store maintenance: compact / inspect "
                       "/ verify")
@@ -448,12 +534,52 @@ def _split_csv(raw: Optional[str]) -> List[str]:
     return [s.strip() for s in raw.split(",") if s.strip()] if raw else []
 
 
+def _campaign_specs(prog: str, *, only: List[str] = (),
+                    skip: List[str] = (), tags: List[str] = (),
+                    policies: List[str] = ()):
+    """The figure selection every campaign-scale command shares.
+
+    ``figures run --all``, ``shard plan`` and ``orchestrate`` must
+    agree on what a selection means (including the ``--policies``
+    arena derivation), or an orchestrated campaign could silently
+    cover a different figure set than the single-host run it is
+    checked against.  ``prog`` only brands the error messages.
+    """
+    from .harness.campaign import select_figures
+
+    try:
+        specs = select_figures(only=list(only), skip=list(skip),
+                               tags=list(tags))
+    except KeyError as exc:
+        raise SystemExit(f"{prog}: {exc.args[0]}")
+    if not specs:
+        raise SystemExit(f"{prog}: the --only/--skip/--tag "
+                         f"filters selected no figures")
+    if policies:
+        from .lb import available
+        from .scenarios import arena_specs
+
+        unknown = sorted(set(policies) - set(available()))
+        if unknown:
+            raise SystemExit(
+                f"{prog}: unknown polic"
+                f"{'y' if len(unknown) == 1 else 'ies'} "
+                f"{', '.join(unknown)} in --policies "
+                f"(registered: {', '.join(available())})")
+        arena = arena_specs(policies, bases=specs, pivot=policies[0])
+        if not arena:
+            raise SystemExit(
+                f"{prog}: --policies derived no arena figures "
+                f"(no selected figure has {policies[0]!r} cells)")
+        specs = list(specs) + arena
+    return specs
+
+
 def _cmd_figures_campaign(args: argparse.Namespace, workers: int) -> int:
     """``figures run --all``: the whole-paper campaign."""
     from .harness.campaign import (
         STATUSES,
         run_campaign,
-        select_figures,
         shared_store,
     )
     from .report import write_campaign_report
@@ -466,33 +592,10 @@ def _cmd_figures_campaign(args: argparse.Namespace, workers: int) -> int:
         raise SystemExit(
             "repro figures: --prune applies to single-figure runs; "
             "use --prune-stale for campaigns")
-    try:
-        specs = select_figures(
-            only=_split_csv(args.only) + list(args.ids),
-            skip=_split_csv(args.skip), tags=_split_csv(args.tag))
-    except KeyError as exc:
-        raise SystemExit(f"repro figures: {exc.args[0]}")
-    if not specs:
-        raise SystemExit("repro figures: the --only/--skip/--tag "
-                         "filters selected no figures")
-    policies = _split_csv(args.policies)
-    if policies:
-        from .lb import available
-        from .scenarios import arena_specs
-
-        unknown = sorted(set(policies) - set(available()))
-        if unknown:
-            raise SystemExit(
-                f"repro figures: unknown polic"
-                f"{'y' if len(unknown) == 1 else 'ies'} "
-                f"{', '.join(unknown)} in --policies "
-                f"(registered: {', '.join(available())})")
-        arena = arena_specs(policies, bases=specs, pivot=policies[0])
-        if not arena:
-            raise SystemExit(
-                "repro figures: --policies derived no arena figures "
-                f"(no selected figure has {policies[0]!r} cells)")
-        specs = list(specs) + arena
+    specs = _campaign_specs(
+        "repro figures", only=_split_csv(args.only) + list(args.ids),
+        skip=_split_csv(args.skip), tags=_split_csv(args.tag),
+        policies=_split_csv(args.policies))
     if args.no_cache:
         if args.prune_stale:
             raise SystemExit("repro figures: --prune-stale needs an "
@@ -640,46 +743,42 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 def _cmd_shard_plan(args: argparse.Namespace) -> int:
     from .harness.backends import plan_manifests, write_shard_plan
-    from .harness.campaign import select_figures
+    from .harness.backends.worker import scoped_env
     from .harness.scale import current_scale
     from .harness.sweep import task_key
 
     if args.shards < 1:
         raise SystemExit("repro shard plan: --shards must be >= 1")
-    if args.scale:
-        os.environ["REPRO_BENCH_SCALE"] = args.scale
-    try:
-        specs = select_figures(only=_split_csv(args.only),
-                               skip=_split_csv(args.skip),
-                               tags=_split_csv(args.tag))
-    except KeyError as exc:
-        raise SystemExit(f"repro shard plan: {exc.args[0]}")
-    if not specs:
-        raise SystemExit("repro shard plan: the --only/--skip/--tag "
-                         "filters selected no figures")
-    figures, by_key = [], {}
-    for spec in specs:
-        # mirror the campaign's fail-soft behaviour: a figure whose
-        # matrix cannot build contributes no tasks on any host, so
-        # skipping it keeps shards equal to a single-host run
-        try:
-            tasks = spec.build()
-        except Exception as exc:
-            print(f"warning: skipping {spec.fig_id}: matrix failed to "
-                  f"build ({exc})")
-            continue
-        figures.append(spec.fig_id)
-        for task in tasks.values():
-            by_key.setdefault(task_key(task), task)
-    manifests = plan_manifests(figures, list(by_key), args.shards,
-                               current_scale().name)
-    paths = write_shard_plan(args.out, manifests)
-    sizes = ", ".join(str(len(m["keys"])) for m in manifests)
-    print(f"planned {len(by_key)} task(s) from {len(figures)} "
-          f"figure(s) into {args.shards} shard(s) [{sizes}] "
-          f"at scale {current_scale().name}")
-    for path in paths:
-        print(f"  {path}")
+    scale_scope = scoped_env(REPRO_BENCH_SCALE=args.scale) \
+        if args.scale else contextlib.nullcontext()
+    with scale_scope:
+        specs = _campaign_specs("repro shard plan",
+                                only=_split_csv(args.only),
+                                skip=_split_csv(args.skip),
+                                tags=_split_csv(args.tag))
+        figures, by_key = [], {}
+        for spec in specs:
+            # mirror the campaign's fail-soft behaviour: a figure whose
+            # matrix cannot build contributes no tasks on any host, so
+            # skipping it keeps shards equal to a single-host run
+            try:
+                tasks = spec.build()
+            except Exception as exc:
+                print(f"warning: skipping {spec.fig_id}: matrix failed "
+                      f"to build ({exc})")
+                continue
+            figures.append(spec.fig_id)
+            for task in tasks.values():
+                by_key.setdefault(task_key(task), task)
+        manifests = plan_manifests(figures, list(by_key), args.shards,
+                                   current_scale().name)
+        paths = write_shard_plan(args.out, manifests)
+        sizes = ", ".join(str(len(m["keys"])) for m in manifests)
+        print(f"planned {len(by_key)} task(s) from {len(figures)} "
+              f"figure(s) into {args.shards} shard(s) [{sizes}] "
+              f"at scale {current_scale().name}")
+        for path in paths:
+            print(f"  {path}")
     return 0
 
 
@@ -690,6 +789,7 @@ def _cmd_shard_run(args: argparse.Namespace) -> int:
         shard_origin,
         tasks_for_manifest,
     )
+    from .harness.backends.worker import scoped_env
     from .harness.sweep import simulator_version
 
     _check_backend_env()
@@ -697,51 +797,91 @@ def _cmd_shard_run(args: argparse.Namespace) -> int:
         manifest = load_shard_manifest(args.manifest)
     except ValueError as exc:
         raise SystemExit(f"repro shard run: {exc}")
-    os.environ["REPRO_BENCH_SCALE"] = manifest["scale"]
-    if simulator_version() != manifest["sim"]:
-        raise SystemExit(
-            f"repro shard run: simulator {simulator_version()} does "
-            f"not match the plan's {manifest['sim']}; shards from "
-            f"different source revisions can never merge — check out "
-            f"the planning commit or re-plan")
-    # shard identity for anything provenance-aware running below us
-    os.environ["REPRO_SHARD"] = \
-        f"{manifest['shard']}/{manifest['n_shards']}"
-    try:
-        tasks = tasks_for_manifest(manifest,
-                                   expand_figures(manifest["figures"]))
-    except (KeyError, ValueError) as exc:
-        raise SystemExit(f"repro shard run: {exc}")
-    store = _open_store(args.store, origin=shard_origin(manifest))
-    if not tasks:
-        # still materialize the (empty) store: scripts merge every
-        # planned shard, and `shard merge` rejects missing directories
-        os.makedirs(store.root, exist_ok=True)
-        print(f"{shard_origin(manifest)}: empty shard, nothing to run")
-        return 0
-    results = run_sweep(tasks, workers=args.workers, store=store,
-                        progress=True, backend=args.backend)
-    print(f"{shard_origin(manifest)}: {len(results)} task(s) "
-          f"({results.executed} executed, {results.cached} cached) "
-          f"-> {store.root}")
+    # the scale and shard identity are the *manifest's*, exported only
+    # for the duration of this run: matrices resolve REPRO_BENCH_SCALE
+    # lazily and provenance reads REPRO_SHARD, but a later in-process
+    # run (tests, an orchestrator driving shards) must not inherit a
+    # stale shard identity in its provenance header
+    with scoped_env(REPRO_BENCH_SCALE=str(manifest["scale"]),
+                    REPRO_SHARD=(f"{manifest['shard']}/"
+                                 f"{manifest['n_shards']}")):
+        if simulator_version() != manifest["sim"]:
+            raise SystemExit(
+                f"repro shard run: simulator {simulator_version()} "
+                f"does not match the plan's {manifest['sim']}; shards "
+                f"from different source revisions can never merge — "
+                f"check out the planning commit or re-plan")
+        try:
+            tasks = tasks_for_manifest(
+                manifest, expand_figures(manifest["figures"]))
+        except (KeyError, ValueError) as exc:
+            raise SystemExit(f"repro shard run: {exc}")
+        store = _open_store(args.store, origin=shard_origin(manifest))
+        if not tasks:
+            # still materialize the (empty) store: scripts merge every
+            # planned shard, and `shard merge` rejects missing
+            # directories
+            os.makedirs(store.root, exist_ok=True)
+            print(f"{shard_origin(manifest)}: empty shard, nothing "
+                  f"to run")
+            return 0
+        results = run_sweep(tasks, workers=args.workers, store=store,
+                            progress=True, backend=args.backend)
+        print(f"{shard_origin(manifest)}: {len(results)} task(s) "
+              f"({results.executed} executed, {results.cached} cached) "
+              f"-> {store.root}")
     return 0
+
+
+def _looks_like_store(path: str) -> bool:
+    """Heuristic pre-flight for ``shard merge`` sources: an empty
+    directory is a valid (empty) shard store, and any store carries a
+    segment file and/or JSON artifacts/manifest — a directory with
+    neither (someone's results dir, a typo'd path) is not a store."""
+    from .harness.store import ColumnarStore
+
+    try:
+        names = os.listdir(path)
+    except OSError:
+        return False
+    return (not names
+            or any(n == ColumnarStore.SEGMENT or n.endswith(".json")
+                   for n in names))
 
 
 def _cmd_shard_merge(args: argparse.Namespace) -> int:
     from .harness.store import ColumnarStore
 
     dest = _open_store(args.into)
-    total = 0
+    # validate every source before touching the destination: a typo in
+    # source k must not leave the campaign store half-merged
     for src in args.sources:
-        if not os.path.isdir(src):
+        if not os.path.isdir(src) or not _looks_like_store(src):
             raise SystemExit(f"repro shard merge: {src} is not a "
                              f"store directory")
+    total = 0
+    done: List[str] = []
+    for src in args.sources:
         # sources always open read-compatible (segment + legacy JSON),
         # whatever $REPRO_STORE says about the destination: a v1 store
         # cannot see segment files, and "merged 0 artifact(s)" from a
         # v2 shard store must not be a silent success
-        merged = dest.merge_from(ColumnarStore(src))
+        try:
+            merged = dest.merge_from(ColumnarStore(src))
+        except Exception as exc:
+            # merge_from is idempotent (content-keyed), so the partial
+            # merge is safe: fixing the bad source and re-running the
+            # same command completes the campaign store
+            raise SystemExit(
+                f"repro shard merge: merging {src} failed: {exc}\n"
+                f"merged {len(done)}/{len(args.sources)} source(s) "
+                f"before the failure"
+                + (f" ({', '.join(done)})" if done else "")
+                + f"; {src} and later sources did not land — re-run "
+                  f"the same merge once the source is fixed "
+                  f"(already-merged artifacts are skipped)")
         total += len(merged)
+        done.append(src)
         print(f"merged {len(merged)} artifact(s) from {src}")
     print(f"store {dest.root}: {len(dest)} artifact(s) "
           f"({total} newly merged)")
@@ -754,6 +894,90 @@ def _cmd_shard(args: argparse.Namespace) -> int:
         "run": _cmd_shard_run,
         "merge": _cmd_shard_merge,
     }[args.shard_command](args)
+
+
+def _cmd_orchestrate(args: argparse.Namespace) -> int:
+    from .harness.backends.worker import scoped_env
+    from .harness.campaign import STATUSES
+    from .harness.orchestrate import (
+        SHARD_STATES,
+        LocalGroupRunner,
+        SSHRunner,
+        orchestrate_campaign,
+    )
+
+    _check_backend_env()
+    if args.fan_out < 1:
+        raise SystemExit("repro orchestrate: --fan-out must be >= 1")
+    if args.shards is not None and args.shards < 1:
+        raise SystemExit("repro orchestrate: --shards must be >= 1")
+    if args.runner == "ssh":
+        hosts = _split_csv(args.ssh_hosts)
+        if not hosts:
+            raise SystemExit("repro orchestrate: --runner ssh needs "
+                             "--ssh-hosts")
+        runner = SSHRunner(hosts, python=args.ssh_python)
+    else:
+        if args.ssh_hosts:
+            raise SystemExit("repro orchestrate: --ssh-hosts only "
+                             "applies to --runner ssh")
+        runner = LocalGroupRunner()
+    # the acceptance contract: whatever the run exports for its own
+    # planning/final render, the orchestrator's environment is
+    # restored afterwards — REPRO_BENCH_SCALE and REPRO_SHARD leak
+    # from this process into nothing
+    scale = args.scale or os.environ.get("REPRO_BENCH_SCALE")
+    with scoped_env(REPRO_BENCH_SCALE=scale,
+                    REPRO_SHARD=os.environ.get("REPRO_SHARD")):
+        specs = _campaign_specs("repro orchestrate",
+                                only=_split_csv(args.only),
+                                skip=_split_csv(args.skip),
+                                tags=_split_csv(args.tag),
+                                policies=_split_csv(args.policies))
+        try:
+            result = orchestrate_campaign(
+                specs, results_dir=args.results_dir,
+                work_dir=args.work_dir, fan_out=args.fan_out,
+                n_shards=args.shards,
+                shard_workers=args.shard_workers,
+                backend=args.backend, runner=runner,
+                heartbeat_timeout_s=args.heartbeat_timeout,
+                shard_deadline_s=args.shard_deadline,
+                max_retries=args.max_retries,
+                chaos_kills=args.chaos_kill,
+                check=not args.no_check, fresh=args.fresh,
+                progress=True, report_path=args.report,
+                json_path=args.json_path, html_path=args.html_path)
+        except ValueError as exc:
+            raise SystemExit(f"repro orchestrate: {exc}")
+    counts = result.counts()
+    print(f"orchestrate done in {result.wall_s:.1f}s: "
+          + ", ".join(f"{counts[s]} {s}" for s in SHARD_STATES
+                      if counts[s])
+          + f"; {result.retries} retr"
+            f"{'y' if result.retries == 1 else 'ies'}, "
+            f"{result.chaos_killed} chaos kill(s)")
+    if result.campaign is not None:
+        ccounts = result.campaign.counts()
+        print("campaign: "
+              + ", ".join(f"{ccounts[s]} {s}" for s in STATUSES)
+              + f"; {result.campaign.tasks} tasks "
+                f"({result.campaign.executed} executed, "
+                f"{result.campaign.cached} cached)")
+        print(f"report: {result.report_path}; "
+              f"record: {result.json_path}")
+    if result.chaos_killed < result.chaos_requested:
+        # an un-fired drill is a failed drill: the run proved nothing
+        # about recovery, which is what --chaos-kill was asked to prove
+        raise SystemExit(
+            f"repro orchestrate: --chaos-kill {result.chaos_requested} "
+            f"requested but only {result.chaos_killed} worker(s) were "
+            f"killed — the campaign finished too fast for the drill; "
+            f"slow workers down (REPRO_WORKER_THROTTLE_S) or raise "
+            f"the task count")
+    if not result.ok():
+        return 1
+    return 0 if result.campaign.ok(strict=args.strict) else 1
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
@@ -922,6 +1146,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "figures": _cmd_figures,
         "shard": _cmd_shard,
+        "orchestrate": _cmd_orchestrate,
         "store": _cmd_store,
         "docs": _cmd_docs,
         "footprint": _cmd_footprint,

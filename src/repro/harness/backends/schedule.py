@@ -40,9 +40,9 @@ def task_label(task) -> str:
     return str(label)
 
 
-def wall_time_by_label(store) -> Dict[str, float]:
-    """Mean recorded wall seconds per task label, from the store's
-    manifest accounting.  Empty when nothing was ever timed."""
+def wall_time_history(store) -> Dict[str, Tuple[float, int]]:
+    """``label -> (mean wall seconds, observation count)`` from the
+    store's manifest accounting.  Empty when nothing was ever timed."""
     if store is None:
         return {}
     try:
@@ -58,25 +58,47 @@ def wall_time_by_label(store) -> Dict[str, float]:
             continue
         totals.setdefault(str(entry.get("label", "")), []).append(
             float(wall))
-    return {label: sum(vals) / len(vals)
+    return {label: (sum(vals) / len(vals), len(vals))
             for label, vals in totals.items()}
+
+
+def wall_time_by_label(store) -> Dict[str, float]:
+    """Mean recorded wall seconds per task label, from the store's
+    manifest accounting.  Empty when nothing was ever timed."""
+    return {label: mean
+            for label, (mean, _n) in wall_time_history(store).items()}
+
+
+def default_expectation(history: Dict[str, Tuple[float, int]]) -> float:
+    """What an *unseen* label is expected to cost: the observation-
+    weighted mean of the recorded wall times (total wall over total
+    observations).  An unweighted mean of per-label means would let a
+    single once-seen outlier label pull every unseen task's estimate —
+    and so its dispatch position — arbitrarily far from the workload's
+    typical cost."""
+    obs = sum(n for _mean, n in history.values())
+    if not obs:
+        return 0.0
+    return sum(mean * n for mean, n in history.values()) / obs
 
 
 def longest_first(pending: Pending, store) -> List[Tuple[str, object]]:
     """Order ``pending`` longest-expected-first by recorded wall time.
 
     Tasks whose label has history get its mean wall time; unseen
-    labels get the overall mean (neutral: neither first nor last);
-    with no history at all the original order comes back unchanged.
+    labels get the observation-weighted overall mean (neutral: what a
+    typical recorded task cost); with no history at all the original
+    order comes back unchanged.
     """
     pending = list(pending)
-    by_label = wall_time_by_label(store)
-    if not by_label or len(pending) <= 1:
+    history = wall_time_history(store)
+    if not history or len(pending) <= 1:
         return pending
-    default = sum(by_label.values()) / len(by_label)
+    default = default_expectation(history)
 
     def expected(item) -> float:
-        return by_label.get(task_label(item[1]), default)
+        entry = history.get(task_label(item[1]))
+        return entry[0] if entry is not None else default
 
     # sorted() is stable: equal expectations keep submission order
     return sorted(pending, key=expected, reverse=True)

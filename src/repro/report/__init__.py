@@ -13,6 +13,8 @@ two generators:
 - :mod:`repro.report.trend` compares two ``campaign.json`` records
   (``repro figures trend``): badge transitions, metric drift, and
   coverage changes between runs, the CI regression gate.
+- :mod:`repro.report.live` renders the self-refreshing status page
+  ``repro orchestrate`` rewrites as shards launch, merge and retry.
 
 All of them share :mod:`repro.report.provenance` for the environment
 header.
@@ -23,6 +25,11 @@ from .figure_docs import (
     render_figure_page,
     render_index,
     write_figure_docs,
+)
+from .live import (
+    render_live_html,
+    render_status_text,
+    write_live_html,
 )
 from .provenance import collect_provenance
 from .reproduction import (
@@ -46,8 +53,11 @@ __all__ = [
     "load_record",
     "render_figure_page",
     "render_index",
+    "render_live_html",
     "render_reproduction",
+    "render_status_text",
     "render_trend",
     "write_campaign_report",
     "write_figure_docs",
+    "write_live_html",
 ]

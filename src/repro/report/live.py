@@ -1,0 +1,154 @@
+"""Live orchestration status: a console line and a self-refreshing
+HTML page.
+
+``repro orchestrate`` re-renders this page on every state change
+(shard launched, heartbeat progress, merge, retry, chaos kill), so an
+operator can watch a long campaign from a browser tab without a
+server: the page refreshes itself with a ``<meta http-equiv=refresh>``
+while the run is live and stops refreshing once the campaign reaches a
+terminal state.  Writes are atomic (temp file + ``os.replace``) — a
+refresh mid-write can never show a torn page.
+
+The input is the orchestrator's plain status document (a dict built by
+``Orchestrator._status_doc``), not its live objects, so these
+renderers are trivially testable and the page is a pure function of
+one snapshot.
+"""
+
+from __future__ import annotations
+
+import html
+import os
+from typing import Dict, List, Sequence
+
+#: states after which the page stops auto-refreshing
+TERMINAL_STATES = ("complete", "failed")
+
+_STATE_COLORS = {
+    "pending": "#8a8a8a",
+    "running": "#1f6feb",
+    "merged": "#1a7f37",
+    "failed": "#cf222e",
+    "aborted": "#cf222e",
+}
+
+
+def _shards(doc: Dict[str, object]) -> List[Dict[str, object]]:
+    shards = doc.get("shards")
+    return list(shards) if isinstance(shards, (list, tuple)) else []
+
+
+def render_status_text(doc: Dict[str, object]) -> str:
+    """One-glance console rendering of a status snapshot."""
+    shards = _shards(doc)
+    done = doc.get("tasks_done", 0)
+    total = doc.get("tasks_total", 0)
+    merged = sum(1 for s in shards if s.get("status") == "merged")
+    head = (f"[{doc.get('state', '?')}] tasks {done}/{total} · "
+            f"shards {merged}/{len(shards)} merged · "
+            f"retries {doc.get('retries', 0)}")
+    if doc.get("chaos_killed"):
+        head += f" · chaos kills {doc['chaos_killed']}"
+    lines = [head]
+    for s in shards:
+        lines.append(
+            f"  shard {s.get('shard')}: {s.get('status'):<8} "
+            f"{s.get('done', 0)}/{s.get('total', 0)} "
+            f"attempt {s.get('attempts', 0)} {s.get('worker', '')}")
+    return "\n".join(lines)
+
+
+def _bar(done: int, total: int) -> str:
+    pct = 0 if not total else int(round(100.0 * done / total))
+    return (f'<div class="bar"><div class="fill" '
+            f'style="width:{pct}%"></div></div>'
+            f'<span class="pct">{pct}%</span>')
+
+
+def render_live_html(doc: Dict[str, object]) -> str:
+    """The full status page for one snapshot."""
+    state = str(doc.get("state", "?"))
+    shards = _shards(doc)
+    refresh = ("" if state in TERMINAL_STATES else
+               '<meta http-equiv="refresh" content="2">')
+    rows = []
+    for s in shards:
+        status = str(s.get("status", "?"))
+        color = _STATE_COLORS.get(status, "#8a8a8a")
+        err = str(s.get("error") or "")
+        rows.append(
+            "<tr>"
+            f"<td>{int(s.get('shard', 0))}</td>"
+            f'<td><span class="badge" style="background:{color}">'
+            f"{html.escape(status)}</span></td>"
+            f"<td>{int(s.get('done', 0))}/{int(s.get('total', 0))}</td>"
+            f"<td>{int(s.get('attempts', 0))}</td>"
+            f"<td>{html.escape(str(s.get('worker', '')))}</td>"
+            f"<td>{float(s.get('expected_s', 0.0)):.1f}s</td>"
+            f"<td>{float(s.get('wall_s', 0.0)):.1f}s</td>"
+            f"<td>{html.escape(err.splitlines()[0] if err else '')}"
+            "</td></tr>")
+    events: Sequence[str] = doc.get("events") or ()
+    event_items = "\n".join(
+        f"<li>{html.escape(str(e))}</li>" for e in events)
+    done = int(doc.get("tasks_done", 0))
+    total = int(doc.get("tasks_total", 0))
+    state_color = {"complete": "#1a7f37",
+                   "failed": "#cf222e"}.get(state, "#1f6feb")
+    return f"""<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+{refresh}
+<title>repro orchestrate — {html.escape(state)}</title>
+<style>
+body {{ font: 14px/1.5 system-ui, sans-serif; margin: 2rem;
+        color: #1f2328; }}
+table {{ border-collapse: collapse; margin: 1rem 0; }}
+td, th {{ border: 1px solid #d0d7de; padding: .3rem .6rem;
+          text-align: left; }}
+.badge {{ color: #fff; border-radius: .6rem; padding: .1rem .5rem; }}
+.bar {{ display: inline-block; width: 16rem; height: .8rem;
+        background: #d0d7de; border-radius: .4rem; overflow: hidden;
+        vertical-align: middle; }}
+.fill {{ height: 100%; background: #1f6feb; }}
+.pct {{ margin-left: .5rem; }}
+.meta {{ color: #57606a; }}
+ul {{ color: #57606a; }}
+</style>
+</head>
+<body>
+<h1>repro orchestrate
+<span class="badge" style="background:{state_color}">
+{html.escape(state)}</span></h1>
+<p class="meta">scale {html.escape(str(doc.get('scale', '?')))} ·
+runner {html.escape(str(doc.get('runner', '?')))} ·
+fan-out {int(doc.get('fan_out', 0))} ·
+retries {int(doc.get('retries', 0))} ·
+chaos kills {int(doc.get('chaos_killed', 0))} ·
+wall {float(doc.get('wall_s', 0.0)):.1f}s ·
+updated {html.escape(str(doc.get('updated_at', '')))}</p>
+<p>tasks {done}/{total} {_bar(done, total)}</p>
+<table>
+<tr><th>shard</th><th>status</th><th>done</th><th>attempts</th>
+<th>worker</th><th>expected</th><th>wall</th><th>error</th></tr>
+{''.join(rows)}
+</table>
+<h2>events</h2>
+<ul>
+{event_items}
+</ul>
+</body>
+</html>
+"""
+
+
+def write_live_html(path: str, doc: Dict[str, object]) -> str:
+    """Atomically (re)write the live page; returns ``path``."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    tmp = f"{path}.{os.getpid()}.tmp"
+    with open(tmp, "w") as fh:
+        fh.write(render_live_html(doc))
+    os.replace(tmp, path)
+    return path

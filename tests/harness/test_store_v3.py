@@ -341,7 +341,8 @@ class TestSchedule:
     def test_unseen_label_gets_overall_mean(self):
         ordered = longest_first(
             _pending("fast", "novel", "slow"), self.STORE)
-        # mean(10, 1) = 5.5: novel slots between slow and fast
+        # observation-weighted default (9+11+1)/3 = 7.0: novel slots
+        # between slow and fast
         assert [t.label for _, t in ordered] == \
             ["slow", "novel", "fast"]
 

@@ -541,21 +541,116 @@ class TestShard:
             run_cli(capsys, "shard", "plan", "--only", "fig99",
                     "--out", str(tmp_path / "plan"))
 
-    def test_run_exports_shard_identity(self, capsys, tmp_path):
-        """Backfill (ISSUE 5): `shard run` exports $REPRO_SHARD for
-        everything provenance-aware below it — previously only
-        exercised end-to-end in CI."""
+    def test_run_scopes_shard_identity(self, capsys, tmp_path):
+        """Regression (ISSUE 10): `shard run` exports $REPRO_SHARD /
+        $REPRO_BENCH_SCALE only for the duration of the run.  It used
+        to leave both behind, so a later in-process run (tests, the
+        orchestrator) inherited a stale shard identity and scale in
+        its provenance header."""
         import os
 
+        from repro.harness.store import open_store
         from repro.report import collect_provenance
         self.plan(capsys, tmp_path)
+        assert "REPRO_SHARD" not in os.environ
+        assert "REPRO_BENCH_SCALE" not in os.environ
         code, _ = run_cli(
             capsys, "shard", "run",
             str(tmp_path / "plan" / "shard-1.json"),
             "--store", str(tmp_path / "s1"))
         assert code == 0
-        assert os.environ["REPRO_SHARD"] == "1/2"
-        assert collect_provenance()["shard"] == "1/2"
+        # the run itself saw the identity: the store records it
+        manifest = open_store(str(tmp_path / "s1")).manifest()
+        assert {e["origin"] for e in manifest.values()} == {"shard-1/2"}
+        # ...but nothing leaked into this process
+        assert "REPRO_SHARD" not in os.environ
+        assert "REPRO_BENCH_SCALE" not in os.environ
+        assert collect_provenance()["shard"] == ""
+        # and a value that existed before the run is restored, not
+        # clobbered
+        os.environ["REPRO_BENCH_SCALE"] = "full"
+        os.environ["REPRO_SHARD"] = "9/9"
+        run_cli(capsys, "shard", "run",
+                str(tmp_path / "plan" / "shard-0.json"),
+                "--store", str(tmp_path / "s0"))
+        assert os.environ["REPRO_BENCH_SCALE"] == "full"
+        assert os.environ["REPRO_SHARD"] == "9/9"
+
+    def test_merge_rejects_non_store_directory(self, capsys, tmp_path):
+        """Regression (ISSUE 10): a directory that exists but is not a
+        store used to surface a raw traceback mid-merge; now it fails
+        cleanly, naming the bad source, before anything merges."""
+        bogus = tmp_path / "not-a-store"
+        bogus.mkdir()
+        (bogus / "README.txt").write_text("just some directory\n")
+        with pytest.raises(SystemExit, match="not-a-store is not a"):
+            run_cli(capsys, "shard", "merge",
+                    "--into", str(tmp_path / "m"), str(bogus))
+        # pre-flight validation: nothing was merged into the dest
+        assert not (tmp_path / "m").exists() or \
+            not list((tmp_path / "m").iterdir())
+
+    def test_merge_validates_before_merging(self, capsys, tmp_path):
+        """A bad source anywhere in the list fails the merge before
+        source 0 lands — no half-merged destination."""
+        import os
+        self.plan(capsys, tmp_path)
+        code, _ = run_cli(
+            capsys, "shard", "run",
+            str(tmp_path / "plan" / "shard-0.json"),
+            "--store", str(tmp_path / "shard-0"))
+        assert code == 0
+        bogus = tmp_path / "junk"
+        bogus.mkdir()
+        (bogus / "data.bin").write_text("x")
+        with pytest.raises(SystemExit, match="junk is not a"):
+            run_cli(capsys, "shard", "merge",
+                    "--into", str(tmp_path / "m"),
+                    str(tmp_path / "shard-0"), str(bogus))
+        dest = tmp_path / "m"
+        assert not dest.exists() or not os.listdir(dest)
+
+    def test_merge_failure_names_source_and_reports_progress(
+            self, capsys, tmp_path):
+        """A source that passes pre-flight but blows up mid-merge
+        produces a summary of what landed, not a traceback."""
+        from unittest import mock
+
+        from repro.harness.store import ColumnarStore
+        self.plan(capsys, tmp_path)
+        for i in (0, 1):
+            code, _ = run_cli(
+                capsys, "shard", "run",
+                str(tmp_path / "plan" / f"shard-{i}.json"),
+                "--store", str(tmp_path / f"shard-{i}"))
+            assert code == 0
+        real = ColumnarStore.merge_from
+        calls = {"n": 0}
+
+        def flaky(self, source):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("disk on fire")
+            return real(self, source)
+
+        with mock.patch.object(ColumnarStore, "merge_from", flaky):
+            with pytest.raises(SystemExit) as err:
+                run_cli(capsys, "shard", "merge",
+                        "--into", str(tmp_path / "m"),
+                        str(tmp_path / "shard-0"),
+                        str(tmp_path / "shard-1"))
+        message = str(err.value)
+        assert "shard-1 failed" in message
+        assert "merged 1/2 source(s)" in message
+        assert "disk on fire" in message
+        # the partial merge is safe: re-running the same command
+        # completes the destination
+        code, out = run_cli(capsys, "shard", "merge",
+                            "--into", str(tmp_path / "m"),
+                            str(tmp_path / "shard-0"),
+                            str(tmp_path / "shard-1"))
+        assert code == 0
+        assert "7 artifact(s)" in out
 
     def test_drift_refusal_runs_nothing(self, capsys, tmp_path):
         """Backfill (ISSUE 5): the simulator-drift refusal must fire
@@ -573,6 +668,92 @@ class TestShard:
                     "--store", str(tmp_path / "never"))
         assert not (tmp_path / "never").exists()
         assert "REPRO_SHARD" not in os.environ
+
+
+class TestOrchestrate:
+    """`repro orchestrate`: the elastic campaign, end-to-end with real
+    subprocess workers."""
+
+    SELECTION = "table1,fig24"
+
+    def test_chaos_kill_recovers_and_matches_single_host(
+            self, capsys, tmp_path, monkeypatch):
+        """The ISSUE 10 acceptance drill: SIGKILL one worker mid-shard;
+        the campaign completes via retry, its record matches a
+        single-host run, and the orchestrator's environment is
+        untouched afterwards."""
+        import json
+        import os
+
+        # hold workers mid-shard long enough for the drill to fire
+        monkeypatch.setenv("REPRO_WORKER_THROTTLE_S", "0.4")
+        code, out = run_cli(
+            capsys, "orchestrate", "--scale", "smoke",
+            "--only", self.SELECTION, "--fan-out", "2",
+            "--chaos-kill", "1", "--heartbeat-timeout", "60",
+            "--results-dir", str(tmp_path / "orch"),
+            "--work-dir", str(tmp_path / "work"),
+            "--report", str(tmp_path / "R-orch.md"),
+            "--json", str(tmp_path / "c-orch.json"),
+            "--html", str(tmp_path / "status.html"))
+        assert code == 0
+        assert "1 chaos kill(s)" in out
+        assert "1 retry" in out
+        assert "4 merged" in out
+        # a killed worker costs only its shard's remainder — the final
+        # render executes nothing
+        assert "7 tasks (0 executed, 7 cached)" in out
+        # the acceptance contract: nothing leaked into this process
+        assert "REPRO_SHARD" not in os.environ
+        assert "REPRO_BENCH_SCALE" not in os.environ
+        page = (tmp_path / "status.html").read_text()
+        assert "complete" in page
+        monkeypatch.delenv("REPRO_WORKER_THROTTLE_S")
+        code, _ = run_cli(
+            capsys, "figures", "run", "--only", self.SELECTION,
+            "--scale", "smoke",
+            "--results-dir", str(tmp_path / "single"),
+            "--report", str(tmp_path / "R-single.md"),
+            "--json", str(tmp_path / "c-single.json"))
+        assert code == 0
+        orch = json.loads((tmp_path / "c-orch.json").read_text())
+        single = json.loads((tmp_path / "c-single.json").read_text())
+        assert [f["table"] for f in orch["figures"]] == \
+            [f["table"] for f in single["figures"]]
+        assert [f["status"] for f in orch["figures"]] == \
+            [f["status"] for f in single["figures"]]
+
+    def test_rerun_is_fully_cached(self, capsys, tmp_path):
+        """Shards of a warm campaign store execute nothing."""
+        for _ in range(2):
+            code, out = run_cli(
+                capsys, "orchestrate", "--scale", "smoke",
+                "--only", "table1", "--fan-out", "2",
+                "--results-dir", str(tmp_path / "orch"),
+                "--work-dir", str(tmp_path / "work"),
+                "--report", str(tmp_path / "R.md"),
+                "--json", str(tmp_path / "c.json"))
+            assert code == 0
+        assert "5 tasks (0 executed, 5 cached)" in out
+        # the second plan ran against a warm store: the balancer had
+        # wall-time history to weigh shards with
+        assert "warm wall-time history" in out
+
+    def test_rejects_empty_selection(self, capsys, tmp_path):
+        with pytest.raises(SystemExit, match="selected no figures"):
+            run_cli(capsys, "orchestrate", "--only", "table1",
+                    "--skip", "table1",
+                    "--results-dir", str(tmp_path / "r"))
+
+    def test_ssh_runner_needs_hosts(self, capsys, tmp_path):
+        with pytest.raises(SystemExit, match="needs --ssh-hosts"):
+            run_cli(capsys, "orchestrate", "--runner", "ssh",
+                    "--results-dir", str(tmp_path / "r"))
+
+    def test_ssh_hosts_require_ssh_runner(self, capsys, tmp_path):
+        with pytest.raises(SystemExit, match="only applies"):
+            run_cli(capsys, "orchestrate", "--ssh-hosts", "h1",
+                    "--results-dir", str(tmp_path / "r"))
 
 
 class TestStore:
